@@ -1,0 +1,47 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's results artifacts and
+asserts its qualitative *shape* (who wins, by roughly what factor,
+where crossovers fall) — absolute numbers differ because our substrate
+is a simulator fed synthetic traces, not the authors' testbed.
+
+By default the workloads are scaled down so the whole benchmark suite
+finishes in a few minutes.  Set ``REPRO_FULL=1`` to run the paper-scale
+configurations (100 peers, 7 days, 10-trace averages).
+"""
+
+import os
+
+import pytest
+
+from repro.sim.units import DAY, HOUR
+from repro.traces.generator import TraceGeneratorConfig
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def scaled_duration(full_days: float, quick_hours: float) -> float:
+    return full_days * DAY if FULL else quick_hours * HOUR
+
+
+def scaled_trace(duration: float, full_peers: int = 100, quick_peers: int = 50,
+                 full_swarms: int = 12, quick_swarms: int = 6) -> TraceGeneratorConfig:
+    return TraceGeneratorConfig(
+        n_peers=full_peers if FULL else quick_peers,
+        n_swarms=full_swarms if FULL else quick_swarms,
+        duration=duration,
+    )
+
+
+def n_replicas(full: int, quick: int) -> int:
+    return full if FULL else quick
+
+
+@pytest.fixture(scope="session")
+def full_mode():
+    return FULL
+
+
+def run_once(benchmark, fn):
+    """Run a heavy simulation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""A1 — adaptive threshold vs fixed T vs no defence (§VII).
+
+Expected shape: the undefended system (E ≡ true) lets colluder votes
+into honest ballot boxes, so pollution persists (no recovery through
+``B_min``); fixed T and adaptive T both confine the attack to the
+VoxPopuli bootstrap window.
+"""
+
+import pytest
+from conftest import run_once, scaled_duration, scaled_trace
+
+from repro.experiments.ablations import ablation_adaptive_threshold
+from repro.experiments.spam_attack import SpamAttackConfig
+
+
+@pytest.fixture(scope="module")
+def a1_results():
+    duration = scaled_duration(full_days=3, quick_hours=30)
+    cfg = SpamAttackConfig(
+        seed=5,
+        duration=duration,
+        sample_interval=2 * 3600.0,
+        core_size=15,
+        crowd_size=30,
+        # Slandering crowds create vote dispersion — the signal the
+        # adaptive controller keys on.  A purely positive spam crowd is
+        # invisible to dispersion (all votes per moderator agree), which
+        # is itself a finding this ablation documents.
+        crowd_slanders_honest=True,
+        trace=scaled_trace(duration, quick_peers=60, quick_swarms=8),
+    )
+    return ablation_adaptive_threshold(cfg)
+
+
+def test_a1_regenerate(benchmark, a1_results):
+    def report():
+        print("\nA1 — experience-function variants under a 2x flash crowd")
+        for label, r in a1_results.items():
+            s = r.get("polluted_fraction")
+            print(
+                f"  {label:<11} peak={s.values.max():.3f} "
+                f"final={s.final():.3f} mean={s.values.mean():.3f}"
+            )
+        return a1_results
+
+    results = run_once(benchmark, report)
+    assert set(results) == {"fixed", "adaptive", "undefended"}
+
+
+def test_a1_defences_beat_no_defence(a1_results):
+    undefended = a1_results["undefended"].get("polluted_fraction")
+    fixed = a1_results["fixed"].get("polluted_fraction")
+    # The gate's value shows in the *steady state*: without it the
+    # colluders' votes live inside honest ballot boxes forever.
+    assert fixed.final() < undefended.final() or (
+        fixed.values.mean() < undefended.values.mean()
+    )
+
+
+def test_a1_undefended_does_not_recover(a1_results):
+    s = a1_results["undefended"].get("polluted_fraction")
+    assert s.final() >= 0.3, "without the gate, pollution should persist"
+
+
+def test_a1_adaptive_confines_attack(a1_results):
+    s = a1_results["adaptive"].get("polluted_fraction")
+    assert s.final() <= 0.5 * max(s.values.max(), 1e-9) or s.final() <= 0.2

@@ -1,0 +1,47 @@
+"""A3 — PSS implementations (§III).
+
+The paper assumes an idealised PSS; Tribler deploys a Newscast variant.
+Expected shape: the gossip PSS tracks the oracle closely — conclusions
+do not hinge on the idealisation.
+"""
+
+import pytest
+from conftest import run_once, scaled_duration, scaled_trace
+
+from repro.experiments.ablations import ablation_pss
+from repro.experiments.vote_sampling import VoteSamplingConfig
+
+
+@pytest.fixture(scope="module")
+def a3_results():
+    duration = scaled_duration(full_days=7, quick_hours=30)
+    cfg = VoteSamplingConfig(
+        seed=7,
+        duration=duration,
+        sample_interval=3 * 3600.0,
+        trace=scaled_trace(duration, quick_peers=50, quick_swarms=6),
+    )
+    return ablation_pss(cfg)
+
+
+def test_a3_regenerate(benchmark, a3_results):
+    def report():
+        print("\nA3 — oracle vs Newscast PSS on the Fig 6 workload")
+        for label, r in a3_results.items():
+            s = r.get("correct_fraction")
+            print(f"  {label:<9} final={s.final():.3f} mean={s.values.mean():.3f}")
+        return a3_results
+
+    results = run_once(benchmark, report)
+    assert set(results) == {"oracle", "newscast"}
+
+
+def test_a3_both_pss_converge(a3_results):
+    for label, r in a3_results.items():
+        assert r.get("correct_fraction").final() >= 0.3, label
+
+
+def test_a3_newscast_within_factor_of_oracle(a3_results):
+    oracle = a3_results["oracle"].get("correct_fraction").final()
+    newscast = a3_results["newscast"].get("correct_fraction").final()
+    assert newscast >= 0.5 * oracle, (oracle, newscast)

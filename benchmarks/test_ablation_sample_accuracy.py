@@ -1,0 +1,76 @@
+"""A5 — BallotBox sample accuracy vs ``B_max`` (§V-A's poll analogy).
+
+"Assuming the PSS produces random samples and B_max is large enough
+then we can expect the local cache to converge to a reasonable
+accuracy."  This bench quantifies it: nodes sample a 2000-voter
+population through ballot boxes of growing capacity and we compare the
+measured share-estimation error to the binomial bound ``1/(2√n)``.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.analysis.sampling import (
+    binomial_error_bound,
+    mean_estimation_error,
+)
+from repro.core.ballotbox import BallotBox
+from repro.core.votes import Vote, VoteEntry
+
+P_TRUE = 0.65
+N_POP = 2000
+B_MAXES = (5, 10, 25, 50, 100, 250)
+
+
+@pytest.fixture(scope="module")
+def accuracy_table():
+    rng = np.random.default_rng(9)
+    votes = [
+        Vote.POSITIVE if rng.random() < P_TRUE else Vote.NEGATIVE
+        for _ in range(N_POP)
+    ]
+    table = {}
+    for b_max in B_MAXES:
+        boxes = []
+        for _ in range(50):
+            bb = BallotBox(b_max=b_max)
+            picks = rng.choice(N_POP, size=b_max, replace=False)
+            for i in picks:
+                bb.merge(f"v{i}", [VoteEntry("m", votes[i], 0.0)], 0.0)
+            boxes.append(bb)
+        table[b_max] = mean_estimation_error(boxes, {"m": P_TRUE})
+    return table
+
+
+def test_a5_regenerate(benchmark, accuracy_table):
+    def report():
+        print("\nA5 — BallotBox sampling accuracy (true share p=0.65)")
+        print(f"  {'B_max':>6} {'measured err':>13} {'binomial bound':>15}")
+        for b_max, err in accuracy_table.items():
+            print(
+                f"  {b_max:>6} {err:>13.4f} {binomial_error_bound(b_max):>15.4f}"
+            )
+        return accuracy_table
+
+    table = run_once(benchmark, report)
+    assert table
+
+
+def test_a5_error_decreases_with_b_max(accuracy_table):
+    errors = [accuracy_table[b] for b in B_MAXES]
+    # allow small non-monotonic noise between adjacent sizes but demand
+    # a clear overall trend
+    assert errors[-1] < 0.5 * errors[0]
+    assert accuracy_table[100] < accuracy_table[5]
+
+
+def test_a5_error_tracks_binomial_bound(accuracy_table):
+    for b_max in (25, 100, 250):
+        assert accuracy_table[b_max] < 3 * binomial_error_bound(b_max)
+
+
+def test_a5_default_b_max_is_reasonably_accurate(accuracy_table):
+    """The paper's B_max=100 keeps mean share error within a few
+    percentage points — 'reasonable accuracy' for ranking purposes."""
+    assert accuracy_table[100] <= 0.08

@@ -1,0 +1,93 @@
+"""A6/A7 — VoxPopuli's contribution and the T trade-off.
+
+A6 (§V-C): disabling the bootstrap protocol removes the sharp Fig 6
+knee — nodes below ``B_min`` simply see nothing.
+
+A7 (§V-B): the experience threshold trades security for speed — higher
+T slows honest vote propagation, which is why the paper picks the
+lowest T whose Fig 5 curve forms a core "within 12 hours".
+"""
+
+import pytest
+from conftest import run_once, scaled_duration, scaled_trace
+
+from repro.analysis.convergence import time_to_fraction
+from repro.experiments.ablations import (
+    ablation_experience_threshold,
+    ablation_voxpopuli,
+)
+from repro.experiments.vote_sampling import VoteSamplingConfig
+from repro.sim.units import MB
+
+
+def base_config(seed):
+    duration = scaled_duration(full_days=7, quick_hours=30)
+    return VoteSamplingConfig(
+        seed=seed,
+        duration=duration,
+        sample_interval=3 * 3600.0,
+        trace=scaled_trace(duration, quick_peers=50, quick_swarms=6),
+    )
+
+
+@pytest.fixture(scope="module")
+def a6_results():
+    return ablation_voxpopuli(base_config(seed=9))
+
+
+@pytest.fixture(scope="module")
+def a7_results():
+    return ablation_experience_threshold(
+        base_config(seed=10), thresholds=(2 * MB, 5 * MB, 20 * MB)
+    )
+
+
+def test_a6_regenerate(benchmark, a6_results):
+    def report():
+        print("\nA6 — VoxPopuli bootstrap on/off (Fig 6 workload)")
+        for label, r in a6_results.items():
+            s = r.get("correct_fraction")
+            t50 = time_to_fraction(s, 0.5)
+            t50_h = f"{t50 / 3600:.0f}h" if t50 is not None else "never"
+            print(
+                f"  {label:<18} final={s.final():.3f} "
+                f"mean={s.values.mean():.3f} t(50%)={t50_h}"
+            )
+        return a6_results
+
+    results = run_once(benchmark, report)
+    assert set(results) == {"with_voxpopuli", "without_voxpopuli"}
+
+
+def test_a6_voxpopuli_accelerates_convergence(a6_results):
+    with_vp = a6_results["with_voxpopuli"].get("correct_fraction")
+    without = a6_results["without_voxpopuli"].get("correct_fraction")
+    assert with_vp.values.mean() >= without.values.mean()
+    t_with = time_to_fraction(with_vp, 0.4)
+    t_without = time_to_fraction(without, 0.4)
+    if t_with is not None and t_without is not None:
+        assert t_with <= t_without
+    else:
+        assert t_with is not None, "with VoxPopuli should reach 40% correct"
+
+
+def test_a7_regenerate(benchmark, a7_results):
+    def report():
+        print("\nA7 — experience threshold T (Fig 6 workload)")
+        for label, r in a7_results.items():
+            s = r.get("correct_fraction")
+            print(f"  {label:<9} final={s.final():.3f} mean={s.values.mean():.3f}")
+        return a7_results
+
+    results = run_once(benchmark, report)
+    assert len(results) == 3
+
+
+def test_a7_higher_threshold_is_never_faster(a7_results):
+    """Mean correctness over the run (area under the curve) should not
+    improve as T grows — stricter gates delay honest votes."""
+    means = {
+        label: r.get("correct_fraction").values.mean()
+        for label, r in a7_results.items()
+    }
+    assert means["T=2MB"] >= means["T=20MB"] - 0.05, means

@@ -1,0 +1,81 @@
+"""§VIII comparison — Credence vs moderator vote sampling.
+
+The paper's claim: "Using this approach [Credence], users who don't
+vote, or do so only minimally, have no way of distinguishing between
+honest and malicious voters.  This is evident from the results
+presented in [16] where nearly fifty percent of clients are isolated…
+In contrast our system doesn't rely on a large number of people
+voting, yet still works for all peers, regardless of their voting
+habits."
+
+This bench quantifies both halves at the paper's vote-rarity regime
+(20 % of peers voting, as in the Fig 6 workload):
+
+* Credence (even with *complete* vote-record propagation): every
+  non-voter is isolated ⇒ isolation ≈ 80 % here, ≥ the ~50 % the
+  Credence paper itself reported with richer histories;
+* vote sampling: the Fig 6 result — ~all peers converge to the correct
+  ordering whether they vote or not.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.baselines.credence import CredenceSimulation
+
+VOTER_FRACTION = 0.20  # matches the Fig 6 workload (10% + 10%)
+
+
+@pytest.fixture(scope="module")
+def credence_grid():
+    out = {}
+    for vf in (0.05, 0.20, 0.50, 1.00):
+        sim = CredenceSimulation(
+            n_peers=100, voter_fraction=vf, rng=np.random.default_rng(23)
+        )
+        sim.gossip_all()
+        out[vf] = {
+            "isolated": sim.isolated_fraction(),
+            "correct": sim.correct_classification_fraction(),
+        }
+    return out
+
+
+def test_credence_regenerate(benchmark, credence_grid):
+    def report():
+        print("\n§VIII — Credence baseline vs voter participation")
+        print(f"  {'voters':>8} {'isolated':>10} {'correct':>9}")
+        for vf, row in credence_grid.items():
+            print(f"  {vf:>7.0%} {row['isolated']:>10.2%} {row['correct']:>9.2%}")
+        print(
+            "  (vote sampling, Fig 6, same 20% voter regime: "
+            "0.99 of ALL peers correct at 168h — see EXPERIMENTS.md)"
+        )
+        return credence_grid
+
+    grid = run_once(benchmark, report)
+    assert grid
+
+
+def test_credence_isolates_nonvoters_at_paper_regime(credence_grid):
+    """At the paper's ≤20 % voting rate, the majority of Credence
+    clients are isolated — consistent with (and stronger than) the
+    ≈50 % reported for the deployed system."""
+    assert credence_grid[VOTER_FRACTION]["isolated"] >= 0.5
+
+
+def test_credence_isolation_shrinks_with_participation(credence_grid):
+    fracs = [credence_grid[v]["isolated"] for v in (0.05, 0.20, 0.50, 1.00)]
+    assert all(a >= b for a, b in zip(fracs, fracs[1:]))
+    assert fracs[-1] <= 0.1
+
+
+def test_vote_sampling_beats_credence_for_nonvoters(credence_grid):
+    """The cross-system contrast the paper draws: at the same voter
+    rarity, vote sampling serves ~everyone (Fig 6 average ≥0.95 by
+    48 h) while Credence cannot serve the non-voting majority."""
+    credence_correct = credence_grid[VOTER_FRACTION]["correct"]
+    fig6_measured_48h = 0.95  # results/summary.json, fig6.average["48"]
+    assert credence_correct <= 1.0 - credence_grid[VOTER_FRACTION]["isolated"] + 1e-9
+    assert fig6_measured_48h > credence_correct + 0.3

@@ -1,0 +1,86 @@
+"""Fig 8 — flash-crowd spam attack against newly arrived nodes.
+
+Paper's reported shape (core = 30):
+
+* crowd = 2× core: most new nodes rank the spam moderator M0 top for
+  ≈24 hours, then recover as their ballot boxes reach ``B_min``;
+* crowd = 1× core: only a minority is ever defeated;
+* crowds *smaller* than the core produce ≈zero pollution quickly;
+* the experienced core itself is never influenced.
+"""
+
+import pytest
+from conftest import FULL, run_once, scaled_duration, scaled_trace
+
+from repro.experiments.common import ascii_chart
+from repro.experiments.spam_attack import SpamAttackConfig, SpamAttackExperiment
+
+
+def make_config(crowd_size, core_size, seed=3):
+    duration = scaled_duration(full_days=3, quick_hours=36)
+    return SpamAttackConfig(
+        seed=seed,
+        duration=duration,
+        sample_interval=1800.0 if FULL else 2 * 3600.0,
+        core_size=core_size,
+        crowd_size=crowd_size,
+        trace=scaled_trace(duration, quick_peers=100, quick_swarms=12),
+    )
+
+
+@pytest.fixture(scope="module")
+def fig8_results():
+    core = 30
+    out = {}
+    for label, crowd in (("0.5x", core // 2), ("1x", core), ("2x", 2 * core)):
+        cfg = make_config(crowd_size=crowd, core_size=core)
+        out[label] = SpamAttackExperiment(cfg).run()
+    return out
+
+
+def test_fig8_regenerate(benchmark, fig8_results):
+    def report():
+        series = {
+            label: r.get("polluted_fraction") for label, r in fig8_results.items()
+        }
+        print("\nFig 8 — fraction of newly arrived nodes ranking M0 top")
+        print(ascii_chart(series, y_max=1.0))
+        for label, r in fig8_results.items():
+            s = r.get("polluted_fraction")
+            print(
+                f"  crowd={label}: peak={s.values.max():.3f} "
+                f"final={s.final():.3f}"
+            )
+        return fig8_results
+
+    results = run_once(benchmark, report)
+    assert set(results) == {"0.5x", "1x", "2x"}
+
+
+def test_fig8_bigger_crowd_more_pollution(fig8_results):
+    mean = {k: r.get("polluted_fraction").values.mean() for k, r in fig8_results.items()}
+    assert mean["2x"] > mean["1x"] > mean["0.5x"], mean
+
+
+def test_fig8_double_crowd_defeats_majority_initially(fig8_results):
+    s = fig8_results["2x"].get("polluted_fraction")
+    assert s.values.max() >= 0.5, "2x crowd should defeat most new nodes"
+
+
+def test_fig8_recovery_within_about_a_day(fig8_results):
+    """Pollution under the 2× attack decays markedly from its peak as
+    newcomers reach B_min — the paper's ≈24 h recovery."""
+    s = fig8_results["2x"].get("polluted_fraction")
+    peak = s.values.max()
+    assert s.final() <= 0.5 * peak, (peak, s.final())
+
+
+def test_fig8_small_crowd_only_minority(fig8_results):
+    s = fig8_results["0.5x"].get("polluted_fraction")
+    assert s.values.max() <= 0.5
+
+
+def test_fig8_core_never_polluted(fig8_results):
+    """"The flash crowd cannot influence the experienced core.\""""
+    for label, result in fig8_results.items():
+        assert result.metadata["final_core_pollution"] == 0.0, label

@@ -1,0 +1,98 @@
+"""Microbenchmarks for the performance-critical kernels.
+
+These are conventional pytest-benchmark measurements (many rounds) for
+the hot paths the guide says to profile: the maxflow evaluation inside
+the experience function, the vectorised CEV probe, bitfield set
+algebra, and one BitTorrent swarm round.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bartercast.graph import SubjectiveGraph
+from repro.bartercast.maxflow import edmonds_karp, two_hop_flow
+from repro.bartercast.protocol import BarterCastService
+from repro.bittorrent.bitfield import Bitfield
+from repro.bittorrent.ledger import TransferLedger
+from repro.bittorrent.swarm import Swarm, SwarmConfig
+from repro.metrics.cev import collective_experience_value
+from repro.pss.base import OnlineRegistry
+from repro.pss.ideal import OraclePSS
+from repro.sim.engine import Engine
+from repro.sim.units import MB
+from repro.traces.model import PeerProfile, SwarmSpec
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    rng = np.random.default_rng(0)
+    g = SubjectiveGraph("owner")
+    nodes = [f"n{i}" for i in range(100)]
+    for u in nodes:
+        for v in nodes:
+            if u != v and rng.random() < 0.1:
+                g.observe_direct(u, v, float(rng.integers(1, 50)) * MB)
+    return g, nodes
+
+
+def test_bench_two_hop_flow(benchmark, dense_graph):
+    g, nodes = dense_graph
+    result = benchmark(lambda: two_hop_flow(g, nodes[1], nodes[0]))
+    assert result >= 0.0
+
+
+def test_bench_edmonds_karp_2hop(benchmark, dense_graph):
+    g, nodes = dense_graph
+    result = benchmark(lambda: edmonds_karp(g, nodes[1], nodes[0], max_hops=2))
+    assert result >= 0.0
+
+
+def test_bench_cev_probe_100_peers(benchmark):
+    peers = [f"p{i}" for i in range(100)]
+    reg = OnlineRegistry()
+    for p in peers:
+        reg.set_online(p)
+    bc = BarterCastService(OraclePSS(reg, np.random.default_rng(0)))
+    rng = np.random.default_rng(1)
+    for _ in range(2000):
+        u, d = rng.choice(100, size=2, replace=False)
+        bc.local_transfer(peers[u], peers[d], float(rng.integers(1, 20)) * MB, 0.0)
+    thresholds = [2 * MB, 5 * MB, 10 * MB, 20 * MB, 50 * MB]
+    out = benchmark(lambda: collective_experience_value(bc, peers, thresholds))
+    assert 0.0 <= out[5 * MB] <= 1.0
+
+
+def test_bench_bitfield_interest(benchmark):
+    rng = np.random.default_rng(2)
+    a = Bitfield.from_indices(4096, rng.choice(4096, 2000, replace=False))
+    b = Bitfield.from_indices(4096, rng.choice(4096, 2000, replace=False))
+    result = benchmark(lambda: a.is_interested_in(b))
+    assert isinstance(result, bool)
+
+
+def test_bench_swarm_round(benchmark):
+    spec = SwarmSpec("s", file_size=400 * 256 * 1024.0, initial_seeder="seed")
+    swarm = Swarm(spec, SwarmConfig(), np.random.default_rng(3), TransferLedger())
+    swarm.join(PeerProfile("seed", upload_capacity=1e6), 0.0)
+    for i in range(30):
+        swarm.join(PeerProfile(f"p{i}"), 0.0)
+    clock = {"t": 0.0}
+
+    def round_():
+        clock["t"] += 30.0
+        return swarm.run_round(clock["t"], 30.0)
+
+    moved = benchmark(round_)
+    assert moved >= 0.0
+
+
+def test_bench_engine_event_throughput(benchmark):
+    def push_and_drain():
+        eng = Engine()
+        for i in range(10_000):
+            eng.schedule(float(i % 97), lambda: None)
+        eng.run()
+        return eng.events_fired
+
+    fired = benchmark(push_and_drain)
+    assert fired == 10_000

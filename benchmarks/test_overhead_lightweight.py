@@ -1,0 +1,83 @@
+"""The "light-weight" claim (abstract, §IX).
+
+The design is advertised as light-weight enough to ride along inside a
+BitTorrent client.  This bench runs the full stack on a trace and
+accounts every protocol exchange with a Tribler-calibrated wire-size
+model, then compares protocol traffic to the BitTorrent payload it
+accompanies.
+
+Pass criterion: all four protocols together cost **< 1 %** of payload
+bytes and only a few KiB/s-equivalent per online node.
+"""
+
+import pytest
+from conftest import run_once, scaled_duration, scaled_trace
+
+from repro.experiments.common import SimulationStack
+from repro.sim.units import KIB, MB
+from repro.traces.generator import TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def overhead_run():
+    duration = scaled_duration(full_days=2, quick_hours=24)
+    trace = TraceGenerator(
+        scaled_trace(duration, quick_peers=60, quick_swarms=8), seed=17
+    ).generate()
+    stack = SimulationStack.build(trace, seed=17)
+    # Give the protocols real work: a moderator and some voters.
+    arrivals = trace.arrival_order()
+    stack.runtime.ensure_node(arrivals[0]).create_moderation("t", "content", 0.0)
+    from repro.core.votes import Vote
+
+    for pid in arrivals[1:8]:
+        stack.runtime.ensure_node(pid).set_vote_intention(arrivals[0], Vote.POSITIVE)
+    stack.run()
+    return stack
+
+
+def test_overhead_regenerate(benchmark, overhead_run):
+    def report():
+        stack = overhead_run
+        traffic = stack.runtime.traffic
+        payload = stack.session.ledger.total_bytes
+        node_hours = stack.runtime.online_node_hours()
+        print("\nProtocol overhead (wire-size model, full stack run)")
+        print(f"  BitTorrent payload: {payload / MB:,.0f} MB")
+        print(f"  online node-hours:  {node_hours:,.0f}")
+        for name, row in traffic.summary().items():
+            print(
+                f"  {name:<15} exchanges={row['exchanges']:>7.0f} "
+                f"items={row['items']:>8.0f} bytes={row['bytes'] / MB:>8.2f} MB"
+            )
+        total = traffic.total_bytes()
+        print(
+            f"  TOTAL protocol:  {total / MB:.2f} MB "
+            f"({100 * total / payload:.3f}% of payload, "
+            f"{total / node_hours / KIB:.2f} KiB per node-hour)"
+        )
+        return traffic
+
+    traffic = run_once(benchmark, report)
+    assert traffic.total_exchanges() > 0
+
+
+def test_overhead_below_one_percent_of_payload(overhead_run):
+    stack = overhead_run
+    total = stack.runtime.traffic.total_bytes()
+    payload = stack.session.ledger.total_bytes
+    assert payload > 0
+    assert total / payload < 0.01, f"{100 * total / payload:.2f}% of payload"
+
+
+def test_overhead_per_node_hour_is_small(overhead_run):
+    """A few tens of KiB per node-hour ≈ tens of bytes/second — noise
+    next to a BitTorrent client's own chatter."""
+    stack = overhead_run
+    per_nh = stack.runtime.traffic.total_bytes() / stack.runtime.online_node_hours()
+    assert per_nh < 200 * KIB
+
+
+def test_overhead_every_protocol_accounted(overhead_run):
+    names = set(overhead_run.runtime.traffic.counters)
+    assert {"moderationcast", "ballotbox", "bartercast"} <= names

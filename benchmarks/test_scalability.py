@@ -1,0 +1,77 @@
+"""§II scalability claim — per-node cost independent of population.
+
+"Scalability to millions of nodes" rests on every mechanism being
+gossip-shaped: each node does O(1) work per Δ regardless of N.  We
+cannot run millions of simulated peers, but we can verify the scaling
+*law*: protocol exchanges and bytes **per online node-hour** must stay
+flat as the population quadruples (any super-linear component would
+show immediately at these sizes).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.core.votes import Vote
+from repro.experiments.common import SimulationStack
+from repro.sim.units import HOUR, KIB
+from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
+
+POPULATIONS = (25, 50, 100)
+DURATION = 12 * HOUR
+
+
+def run_population(n_peers: int):
+    trace = TraceGenerator(
+        TraceGeneratorConfig(
+            n_peers=n_peers,
+            n_swarms=max(2, n_peers // 10),
+            duration=DURATION,
+        ),
+        seed=41,
+    ).generate()
+    stack = SimulationStack.build(trace, seed=41)
+    arrivals = trace.arrival_order()
+    stack.runtime.ensure_node(arrivals[0]).create_moderation("t", "x", 0.0)
+    for pid in arrivals[1 : 1 + n_peers // 10]:
+        stack.runtime.ensure_node(pid).set_vote_intention(arrivals[0], Vote.POSITIVE)
+    stack.run()
+    node_hours = stack.runtime.online_node_hours()
+    traffic = stack.runtime.traffic
+    return {
+        "exchanges_per_nh": traffic.total_exchanges() / node_hours,
+        "bytes_per_nh": traffic.total_bytes() / node_hours,
+        "node_hours": node_hours,
+    }
+
+
+@pytest.fixture(scope="module")
+def scaling_table():
+    return {n: run_population(n) for n in POPULATIONS}
+
+
+def test_scalability_regenerate(benchmark, scaling_table):
+    def report():
+        print("\n§II — per-node protocol cost vs population size")
+        print(f"  {'peers':>6} {'node-hours':>11} {'exch/node-h':>12} {'KiB/node-h':>11}")
+        for n, row in scaling_table.items():
+            print(
+                f"  {n:>6} {row['node_hours']:>11.0f} "
+                f"{row['exchanges_per_nh']:>12.2f} "
+                f"{row['bytes_per_nh'] / KIB:>11.2f}"
+            )
+        return scaling_table
+
+    table = run_once(benchmark, report)
+    assert table
+
+
+def test_per_node_cost_flat_across_populations(scaling_table):
+    """4× the population must not change per-node-hour exchange rates
+    by more than ~50 % (gossip is O(1) per node per Δ)."""
+    rates = [scaling_table[n]["exchanges_per_nh"] for n in POPULATIONS]
+    assert max(rates) <= 1.5 * min(rates), rates
+
+
+def test_per_node_bytes_bounded(scaling_table):
+    for n, row in scaling_table.items():
+        assert row["bytes_per_nh"] < 100 * KIB, (n, row)

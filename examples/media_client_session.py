@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""A user's session with the media client (§I's search-and-browse story).
+
+Simulates a 20-peer community for ten hours — moderators publishing
+metadata, users voting — then replays what one user's client UI shows:
+keyword search with reputation-ordered results, the top-moderator
+incentive screen, and the effect of the user disapproving a spammer.
+
+Run:  python examples/media_client_session.py
+"""
+
+from repro.client import MediaClient
+from repro.core.node import NodeConfig
+from repro.core.runtime import RuntimeConfig
+from repro.core.votes import Vote
+from repro.experiments.common import SimulationStack
+from repro.sim.units import HOUR, MB
+from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
+
+
+def main() -> None:
+    trace = TraceGenerator(
+        TraceGeneratorConfig(n_peers=20, n_swarms=3, duration=10 * HOUR,
+                             arrival_window=1 * HOUR),
+        seed=13,
+    ).generate()
+    stack = SimulationStack.build(
+        trace,
+        seed=13,
+        runtime_config=RuntimeConfig(
+            node=NodeConfig(b_min=3), experience_threshold=1 * MB
+        ),
+    )
+
+    arrivals = trace.arrival_order()
+    curator, spammer = arrivals[0], arrivals[1]
+    curator_node = stack.runtime.ensure_node(curator)
+    curator_node.create_moderation(
+        "ubuntu-9.04-desktop-i386.iso",
+        "Ubuntu 9.04 desktop — verified official image",
+        now=0.0,
+        description="jaunty jackalope, md5 checked",
+    )
+    curator_node.create_moderation(
+        "big-buck-bunny-1080p.avi",
+        "Big Buck Bunny 1080p — open movie",
+        now=0.0,
+    )
+    spammer_node = stack.runtime.ensure_node(spammer)
+    spammer_node.create_moderation(
+        "ubuntu-9.04-desktop-i386.iso",
+        "UBUNTU 2009 FULL +crack FREE",
+        now=0.0,
+        description="totally legit ubuntu download",
+    )
+    # Community opinion: several users approve the curator, one flags
+    # the spammer.
+    for pid in arrivals[2:8]:
+        stack.runtime.ensure_node(pid).set_vote_intention(curator, Vote.POSITIVE)
+    for pid in arrivals[8:11]:
+        stack.runtime.ensure_node(pid).set_vote_intention(spammer, Vote.NEGATIVE)
+
+    print("Simulating 10 hours of community activity …")
+    stack.run()
+
+    user_id = arrivals[-1]
+    client = MediaClient(stack.runtime.nodes[user_id])
+    print(f"\n=== {user_id}'s client ===")
+    print("status:", client.status())
+
+    print('\nSearch: "ubuntu"')
+    for hit in client.search("ubuntu"):
+        print(
+            f"  [{hit.combined_score:5.2f}] {hit.moderation.title!r} "
+            f"(by {hit.moderator_id}, rep {hit.moderator_score:+.1f})"
+        )
+
+    print("\nTop moderators screen:")
+    for row in client.top_moderators_detailed(k=3):
+        pct = row["popular_vote_pct"]
+        pct_s = f"{pct:.0f}%" if pct is not None else "n/a"
+        print(
+            f"  {row['moderator']:<10} score={row['score']:+.1f} "
+            f"popular vote={pct_s} "
+            f"({row['moderations_known']} items known)"
+        )
+
+    if client.node.store.has_moderator(spammer):
+        print(f"\nUser flags {spammer} as spam (thumbs-down) …")
+        client.disapprove(spammer, now=stack.engine.now)
+        print('Search: "ubuntu" again:')
+        for hit in client.search("ubuntu"):
+            print(f"  [{hit.combined_score:5.2f}] {hit.moderation.title!r}")
+        print(f"({spammer}'s metadata purged and blocked locally)")
+
+
+if __name__ == "__main__":
+    main()

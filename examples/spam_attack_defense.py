@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Spam-attack defence demo (the Fig 8 scenario, narrated).
+
+A private community with an established experienced core is hit by a
+flash crowd twice its size promoting a spam moderator "M0".  We run the
+attack twice — once with the paper's experience-gated vote sampling,
+once with the gate disabled — and chart the fraction of newly arrived
+peers whose top-ranked moderator is the spammer.
+
+Run:  python examples/spam_attack_defense.py
+"""
+
+from repro.core.experience import AlwaysExperienced
+from repro.experiments.common import ascii_chart
+from repro.experiments.spam_attack import SpamAttackConfig, SpamAttackExperiment
+from repro.sim.units import HOUR
+from repro.traces.generator import TraceGeneratorConfig
+
+
+class UndefendedExperiment(SpamAttackExperiment):
+    """Same attack, but every peer's votes are accepted (E ≡ true)."""
+
+    def _install_experience(self, stack) -> None:
+        stack.runtime.experience = AlwaysExperienced()
+
+
+def main() -> None:
+    duration = 30 * HOUR
+    base = dict(
+        seed=4,
+        duration=duration,
+        sample_interval=2 * 3600.0,
+        core_size=15,
+        crowd_size=30,
+        trace=TraceGeneratorConfig(n_peers=60, n_swarms=6, duration=duration),
+    )
+
+    print("Running the flash-crowd attack WITH the experience gate …")
+    defended = SpamAttackExperiment(SpamAttackConfig(**base)).run()
+    print("Running the same attack WITHOUT the gate …")
+    undefended = UndefendedExperiment(SpamAttackConfig(**base)).run()
+
+    series = {
+        "defended": defended.get("polluted_fraction"),
+        "undefended": undefended.get("polluted_fraction"),
+    }
+    print("\nFraction of newly arrived peers ranking the spammer top:")
+    print(ascii_chart(series, y_max=1.0))
+
+    d, u = series["defended"], series["undefended"]
+    print(f"\ndefended:   peak={d.values.max():.2f}  final={d.final():.2f}")
+    print(f"undefended: peak={u.values.max():.2f}  final={u.final():.2f}")
+    print(f"core pollution (defended):   {defended.metadata['final_core_pollution']:.2f}")
+    print(f"core pollution (undefended): {undefended.metadata['final_core_pollution']:.2f}")
+    print(
+        "\nWith the gate, pollution is confined to the VoxPopuli bootstrap "
+        "window and newcomers recover as they collect B_min experienced "
+        "votes; without it, colluder votes enter honest ballot boxes and "
+        "the spam moderator stays on top."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Render ``results/summary.json`` as the EXPERIMENTS.md result tables.
+
+Keeps the documentation honest: after re-running
+``scripts/collect_results.py`` you can regenerate the measured tables
+and diff them against what EXPERIMENTS.md claims.
+
+Usage::
+
+    python scripts/render_report.py [results/summary.json]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def fig5_table(data: dict) -> str:
+    names = sorted(data, key=lambda n: float(n.split("T=")[1].rstrip("MB")))
+    hours = sorted({int(h) for series in data.values() for h in series}, key=int)
+    head = "| t | " + " | ".join(n.replace("cev:", "") for n in names) + " |"
+    sep = "|---" * (len(names) + 1) + "|"
+    rows = [head, sep]
+    for h in hours:
+        cells = [f"{data[n][str(h)]:.3f}" for n in names]
+        rows.append(f"| {h} h | " + " | ".join(cells) + " |")
+    return "\n".join(rows)
+
+
+def fig6_table(data: dict) -> str:
+    avg = data["average"]
+    hours = sorted(avg, key=int)
+    rows = [
+        "| t | " + " | ".join(f"{h} h" for h in hours) + " |",
+        "|---" * (len(hours) + 1) + "|",
+        "| correct fraction | "
+        + " | ".join(f"{avg[h]:.3f}" for h in hours)
+        + " |",
+    ]
+    finals = sorted(data["runs_final"].values())
+    rows.append("")
+    rows.append(f"Per-run finals: {finals[0]:.3f}–{finals[-1]:.3f} "
+                f"across {len(finals)} replicas.")
+    return "\n".join(rows)
+
+
+def fig8_table(data: dict) -> str:
+    crowds = sorted(data, key=lambda k: int(k.split("=")[1]))
+    hours = sorted(
+        {int(h) for row in data.values() for h in row["points"]}, key=int
+    )
+    head = "| t | " + " | ".join(crowds) + " |"
+    rows = [head, "|---" * (len(crowds) + 1) + "|"]
+    for h in hours:
+        cells = [f"{data[c]['points'][str(h)]:.3f}" for c in crowds]
+        rows.append(f"| {h} h | " + " | ".join(cells) + " |")
+    rows.append("")
+    rows.append(
+        "Peaks: "
+        + " / ".join(f"{data[c]['peak']:.2f}" for c in crowds)
+        + "   Finals: "
+        + " / ".join(f"{data[c]['final']:.2f}" for c in crowds)
+    )
+    return "\n".join(rows)
+
+
+def main() -> int:
+    path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results/summary.json")
+    if not path.exists():
+        print(f"{path} not found — run scripts/collect_results.py first",
+              file=sys.stderr)
+        return 1
+    summary = json.loads(path.read_text())
+    print("## Fig 5 — CEV vs time per threshold\n")
+    print(fig5_table(summary["fig5"]))
+    print("\n## Fig 6 — correct-ordering fraction (10-run average)\n")
+    print(fig6_table(summary["fig6"]))
+    print("\n## Fig 8 — pollution of newly arrived nodes\n")
+    print(fig8_table(summary["fig8"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package, so PEP-517 editable installs
+fail with "invalid command 'bdist_wheel'".  This shim enables
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Reproduction of *Robust vote sampling in a P2P media distribution system*
+(Rahman, Hales, Meulpolder, Heinink, Pouwelse, Sips — IPPS 2009).
+
+The package is organised as a set of substrates (``sim``, ``traces``,
+``identity``, ``pss``, ``bittorrent``, ``bartercast``) underneath the
+paper's core contribution (``core``: ModerationCast, BallotBox,
+VoxPopuli, the experience function and ranking), with ``attacks``,
+``metrics`` and ``experiments`` on top to regenerate every results
+figure of the paper.
+
+Quick start::
+
+    from repro.experiments import VoteSamplingConfig, VoteSamplingExperiment
+
+    result = VoteSamplingExperiment(VoteSamplingConfig(seed=1)).run()
+    print(result.correct_fraction_series())
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md``
+for paper-vs-measured results.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.units import DAY, HOUR, KIB, MB, MINUTE, SECOND
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "RngRegistry",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "KIB",
+    "MB",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Top-level command dispatcher.
+
+::
+
+    python -m repro experiments fig6 --quick     → repro.experiments CLI
+    python -m repro traces generate --out d/     → repro.traces CLI
+    python -m repro version
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "experiments":
+        from repro.experiments.__main__ import main as experiments_main
+
+        return experiments_main(rest)
+    if command == "traces":
+        from repro.traces.__main__ import main as traces_main
+
+        return traces_main(rest)
+    if command == "version":
+        from repro import __version__
+
+        print(__version__)
+        return 0
+    print(f"unknown command {command!r}; see python -m repro --help", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Fake-experience ("front peer" / "mole") attack on BarterCast (§VII).
+
+Colluders fabricate mutual transfer statements — each reports enormous
+uploads to its accomplices — and gossip them like honest records.  The
+acceptance rule lets these through (each colluder *is* an endpoint of
+its own claims), so victims' subjective graphs grow a richly-connected
+fake cluster.  What defeats the attack is flow conservation: maxflow
+from a colluder to the victim is capped by the capacity of edges
+*entering the victim's honest neighbourhood*, which only honest nodes
+report, and only for real upload.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Sequence
+
+from repro.bartercast.protocol import BarterCastService
+from repro.bartercast.records import TransferRecord
+
+
+class FakeExperienceColluders:
+    """A clique of nodes claiming huge mutual transfers."""
+
+    def __init__(
+        self,
+        bartercast: BarterCastService,
+        members: Sequence[str],
+        claimed_bytes: float = 1e12,
+    ):
+        if len(members) < 2:
+            raise ValueError("need at least two colluders")
+        if claimed_bytes <= 0:
+            raise ValueError("claimed_bytes must be positive")
+        self.bartercast = bartercast
+        self.members = list(members)
+        self.claimed_bytes = claimed_bytes
+
+    def fabricate_records(self, now: float) -> List[TransferRecord]:
+        """The clique's lies: every ordered pair claims huge transfers."""
+        records = []
+        for a, b in combinations(self.members, 2):
+            records.append(
+                TransferRecord(
+                    reporter=a,
+                    partner=b,
+                    up=self.claimed_bytes,
+                    down=self.claimed_bytes,
+                    timestamp=now,
+                )
+            )
+            records.append(
+                TransferRecord(
+                    reporter=b,
+                    partner=a,
+                    up=self.claimed_bytes,
+                    down=self.claimed_bytes,
+                    timestamp=now,
+                )
+            )
+        return records
+
+    def poison_node(self, victim: str, now: float) -> int:
+        """Deliver the fabricated records to one victim (as if the
+        victim had met each colluder and accepted their own-edge
+        claims).  Returns the number of records delivered."""
+        records = self.fabricate_records(now)
+        for rec in records:
+            self.bartercast.inject_record(victim, rec)
+        return len(records)
+
+    def seed_own_tables(self, now: float) -> None:
+        """Make the lies self-sustaining: each colluder's *direct*
+        table claims the transfers, so ordinary BarterCast gossip
+        spreads them from here on."""
+        for a, b in combinations(self.members, 2):
+            state_a = self.bartercast._state(a)
+            state_a.direct[b] = [self.claimed_bytes, self.claimed_bytes, now]
+            state_a.graph.observe_direct(a, b, self.claimed_bytes)
+            state_a.graph.observe_direct(b, a, self.claimed_bytes)
+            state_b = self.bartercast._state(b)
+            state_b.direct[a] = [self.claimed_bytes, self.claimed_bytes, now]
+            state_b.graph.observe_direct(b, a, self.claimed_bytes)
+            state_b.graph.observe_direct(a, b, self.claimed_bytes)

@@ -1,0 +1,122 @@
+"""Flash-crowd spam attack (Fig 7/8).
+
+A crowd of fresh identities joins with the single goal of promoting a
+spam moderator ``M0``:
+
+* their local vote lists contain only ``+M0`` (sent on every BallotBox
+  exchange — honest nodes discard these unless the colluder somehow
+  became experienced);
+* they answer **every** VoxPopuli request with ``[M0, …]`` regardless
+  of their own ballot state — this is the unprotected channel the
+  attack actually exploits;
+* they gossip M0's spam moderation to everyone they meet;
+* they never bootstrap-poll others (they don't care about real
+  rankings) and they ignore incoming votes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.moderation import Moderation
+from repro.core.node import NodeConfig, VoteSamplingNode
+from repro.core.runtime import ProtocolRuntime
+from repro.core.votes import Vote, VoteEntry
+
+
+class SpamColluderNode(VoteSamplingNode):
+    """One member of the flash crowd."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        spam_moderator: str,
+        config: Optional[NodeConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        decoys: Sequence[str] = (),
+    ):
+        super().__init__(peer_id, config, rng)
+        self.spam_moderator = spam_moderator
+        self.decoys = list(decoys)
+        if spam_moderator != peer_id:
+            # Colluders approve the spam moderator so ModerationCast
+            # forwards its metadata through them.
+            self.vote_list.cast(spam_moderator, Vote.POSITIVE, 0.0)
+        self.store.insert(
+            Moderation(
+                moderator_id=spam_moderator,
+                torrent_id="spam-torrent",
+                title="TOTALLY LEGIT RELEASE",
+                description="spam",
+            ),
+            now=0.0,
+        )
+
+    # -- BallotBox ------------------------------------------------------
+    def votes_to_send(self) -> List[VoteEntry]:
+        """Always push +M0 (plus decoy negatives on honest moderators)."""
+        out = [VoteEntry(self.spam_moderator, Vote.POSITIVE, 0.0)]
+        out.extend(VoteEntry(d, Vote.NEGATIVE, 0.0) for d in self.decoys)
+        return out
+
+    def receive_votes(self, voter, entries, now, experienced) -> int:
+        """Colluders don't build honest statistics."""
+        return 0
+
+    # -- VoxPopuli -------------------------------------------------------
+    def needs_bootstrap(self) -> bool:
+        """Never poll others — the crowd's ranking is fixed."""
+        return False
+
+    def respond_top_k(self) -> Optional[List[str]]:
+        """Answer every request with the spam list, regardless of B_min
+        — the malicious behaviour Fig 3(c)'s honest guard cannot stop
+        at the sender side."""
+        return [self.spam_moderator] + self.decoys[: self.config.k - 1]
+
+    def current_ranking(self):
+        return [(self.spam_moderator, float("inf"))]
+
+
+class FlashCrowd:
+    """Creates, registers and (de)activates a crowd of colluders."""
+
+    def __init__(
+        self,
+        runtime: ProtocolRuntime,
+        size: int,
+        spam_moderator: str = "M0",
+        id_prefix: str = "colluder",
+        decoys: Sequence[str] = (),
+    ):
+        if size < 1:
+            raise ValueError("crowd size must be >= 1")
+        self.runtime = runtime
+        self.spam_moderator = spam_moderator
+        self.members: List[str] = []
+        for i in range(size):
+            pid = f"{id_prefix}{i:03d}"
+            node = SpamColluderNode(
+                pid,
+                spam_moderator,
+                config=runtime.config.node,
+                rng=runtime._rng.stream("colluder", pid),
+                decoys=decoys,
+            )
+            runtime.register_node(node)
+            self.members.append(pid)
+
+    def arrive(self, now: float) -> None:
+        """Bring the whole crowd online (the flash)."""
+        for pid in self.members:
+            self.runtime.bring_online(pid, now)
+
+    def depart(self, now: float) -> None:
+        for pid in self.members:
+            self.runtime.take_offline(pid, now)
+
+    def schedule_arrival(self, at: float) -> None:
+        """Schedule the flash on the runtime's engine."""
+        self.runtime.engine.schedule_at(at, self.arrive, at)

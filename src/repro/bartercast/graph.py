@@ -1,0 +1,134 @@
+"""Per-node subjective transfer graph.
+
+Each node folds accepted :class:`~repro.bartercast.records.TransferRecord`
+statements into a directed weighted graph ("MBs transferred from u to
+v").  Conflicting statements about the same ordered pair are resolved
+by keeping the **maximum** reported value: totals are cumulative and
+monotone, so the largest figure is the freshest honest one, and an
+understating stale record can never erase credit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+import numpy as np
+
+from repro.bartercast.records import TransferRecord
+
+
+class SubjectiveGraph:
+    """Directed weighted graph of believed transfers.
+
+    ``weight(u, v)`` is the bytes the owner believes ``u`` uploaded to
+    ``v``.  The owner's own direct observations and gossip-received
+    records share the same storage; direct observations always win
+    because they are at least as fresh (cumulative maxima).
+
+    ``max_nodes`` bounds memory as deployed BarterCast does: when the
+    node set would exceed it, the *smallest-degree-weight* node not on
+    a path touching the owner's neighbourhood is evicted (pruning weak
+    hearsay first; the owner itself is never evicted).
+    """
+
+    def __init__(self, owner: str, max_nodes: int = 0):
+        if max_nodes < 0:
+            raise ValueError("max_nodes must be >= 0 (0 = unbounded)")
+        self.owner = owner
+        self.max_nodes = max_nodes
+        self._out: Dict[str, Dict[str, float]] = {}
+        self.records_folded = 0
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    def add_record(self, record: TransferRecord) -> bool:
+        """Fold one record.  Returns ``False`` (and ignores it) if the
+        record violates the endpoint acceptance rule for gossip — the
+        caller is responsible for passing only records whose *sender*
+        matches the reporter; this method enforces internal sanity."""
+        self._raise_edge(record.reporter, record.partner, record.up)
+        self._raise_edge(record.partner, record.reporter, record.down)
+        self.records_folded += 1
+        return True
+
+    def observe_direct(self, uploader: str, downloader: str, total_bytes: float) -> None:
+        """Fold the owner's own cumulative observation of an edge."""
+        self._raise_edge(uploader, downloader, total_bytes)
+
+    def _raise_edge(self, u: str, v: str, w: float) -> None:
+        if w <= 0 or u == v:
+            return
+        row = self._out.setdefault(u, {})
+        if w > row.get(v, 0.0):
+            row[v] = w
+        if self.max_nodes:
+            self._enforce_node_bound()
+
+    def _enforce_node_bound(self) -> None:
+        nodes = self.nodes()
+        while len(nodes) > self.max_nodes:
+            # Total touched weight per node; owner and its direct
+            # neighbours carry the flows that matter — evict the
+            # weakest stranger.
+            protected = {self.owner}
+            protected.update(self._out.get(self.owner, ()))
+            for u, row in self._out.items():
+                if self.owner in row:
+                    protected.add(u)
+            weight_of: Dict[str, float] = {n: 0.0 for n in nodes}
+            for u, row in self._out.items():
+                for v, w in row.items():
+                    weight_of[u] = weight_of.get(u, 0.0) + w
+                    weight_of[v] = weight_of.get(v, 0.0) + w
+            candidates = [n for n in nodes if n not in protected]
+            if not candidates:
+                break
+            victim = min(candidates, key=lambda n: (weight_of.get(n, 0.0), n))
+            self._remove_node(victim)
+            nodes = self.nodes()
+            self.evicted += 1
+
+    def _remove_node(self, node: str) -> None:
+        self._out.pop(node, None)
+        for row in self._out.values():
+            row.pop(node, None)
+
+    # ------------------------------------------------------------------
+    def weight(self, u: str, v: str) -> float:
+        return self._out.get(u, {}).get(v, 0.0)
+
+    def successors(self, u: str) -> Dict[str, float]:
+        """Copy of ``{v: weight}`` for edges out of ``u``."""
+        return dict(self._out.get(u, {}))
+
+    def nodes(self) -> Set[str]:
+        out: Set[str] = set(self._out.keys())
+        for row in self._out.values():
+            out.update(row.keys())
+        return out
+
+    def edges(self) -> List[Tuple[str, str, float]]:
+        return [(u, v, w) for u, row in self._out.items() for v, w in row.items()]
+
+    def num_edges(self) -> int:
+        return sum(len(row) for row in self._out.values())
+
+    # ------------------------------------------------------------------
+    def to_matrix(self, order: Iterable[str]) -> np.ndarray:
+        """Dense weight matrix in the given node order (metrics use —
+        vectorised CEV computation needs all flows at once)."""
+        ids = list(order)
+        index = {pid: i for i, pid in enumerate(ids)}
+        mat = np.zeros((len(ids), len(ids)))
+        for u, row in self._out.items():
+            ui = index.get(u)
+            if ui is None:
+                continue
+            for v, w in row.items():
+                vi = index.get(v)
+                if vi is not None:
+                    mat[ui, vi] = w
+        return mat
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SubjectiveGraph(owner={self.owner!r}, edges={self.num_edges()})"

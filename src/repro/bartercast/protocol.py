@@ -1,0 +1,160 @@
+"""The BarterCast gossip service.
+
+Population-managed like the other substrates: one
+:class:`BarterCastService` owns every node's direct-record table and
+subjective graph.  Wiring:
+
+* the BitTorrent :class:`~repro.bittorrent.ledger.TransferLedger`
+  streams transfers into :meth:`local_transfer` (both endpoints update
+  their direct tables and graphs);
+* the session driver calls :meth:`gossip_tick` per online node on the
+  node's gossip cadence; the node meets a PSS-sampled peer and the two
+  exchange their most significant *direct* records;
+* the experience layer calls :meth:`contribution` to get ``f_{j→i}``.
+
+Acceptance rule: a node only folds received records whose *reporter*
+field equals the peer that sent them — hearsay about third parties is
+rejected, which is what confines collusive edge-faking to the
+colluders' own neighbourhood (the "front peer" discussion in §VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bartercast.graph import SubjectiveGraph
+from repro.bartercast.maxflow import edmonds_karp, two_hop_flow
+from repro.bartercast.records import TransferRecord
+from repro.pss.base import PeerSamplingService
+
+
+@dataclass
+class BarterCastConfig:
+    """Protocol parameters (deployed-BarterCast-like defaults)."""
+
+    #: Max records sent per gossip exchange (most-transferred partners).
+    max_records_per_exchange: int = 10
+    #: Hop bound for the maxflow evaluation; ``2`` is the deployed
+    #: setting and enables the O(degree) closed form.
+    max_hops: int = 2
+    #: Per-node subjective-graph size bound (0 = unbounded).  Deployed
+    #: BarterCast prunes weak hearsay to cap client memory.
+    max_graph_nodes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_records_per_exchange < 1:
+            raise ValueError("max_records_per_exchange must be >= 1")
+        if self.max_hops < 1:
+            raise ValueError("max_hops must be >= 1")
+        if self.max_graph_nodes < 0:
+            raise ValueError("max_graph_nodes must be >= 0")
+
+
+class _NodeState:
+    __slots__ = ("direct", "graph")
+
+    def __init__(self, owner: str, max_graph_nodes: int = 0):
+        #: partner -> (up_total, down_total, last_update)
+        self.direct: Dict[str, List[float]] = {}
+        self.graph = SubjectiveGraph(owner, max_nodes=max_graph_nodes)
+
+
+class BarterCastService:
+    """All nodes' BarterCast state plus the contribution oracle."""
+
+    def __init__(self, pss: PeerSamplingService, config: Optional[BarterCastConfig] = None):
+        self._pss = pss
+        self.config = config or BarterCastConfig()
+        self._nodes: Dict[str, _NodeState] = {}
+        self.exchanges = 0
+
+    def _state(self, peer_id: str) -> _NodeState:
+        st = self._nodes.get(peer_id)
+        if st is None:
+            st = _NodeState(peer_id, self.config.max_graph_nodes)
+            self._nodes[peer_id] = st
+        return st
+
+    # ------------------------------------------------------------------
+    # Local observation (wired to the transfer ledger)
+    # ------------------------------------------------------------------
+    def local_transfer(self, uploader: str, downloader: str, nbytes: float, now: float) -> None:
+        """Both endpoints record the transfer in their direct tables."""
+        if nbytes <= 0:
+            return
+        up_state = self._state(uploader)
+        rec = up_state.direct.setdefault(downloader, [0.0, 0.0, now])
+        rec[0] += nbytes
+        rec[2] = now
+        up_state.graph.observe_direct(uploader, downloader, rec[0])
+
+        down_state = self._state(downloader)
+        rec2 = down_state.direct.setdefault(uploader, [0.0, 0.0, now])
+        rec2[1] += nbytes
+        rec2[2] = now
+        down_state.graph.observe_direct(uploader, downloader, rec2[1])
+
+    def inject_record(self, holder: str, record: TransferRecord) -> None:
+        """Directly fold a record into ``holder``'s graph, bypassing the
+        reporter check — used by attack models to simulate colluders
+        feeding each other fabricated statements."""
+        self._state(holder).graph.add_record(record)
+
+    # ------------------------------------------------------------------
+    # Gossip
+    # ------------------------------------------------------------------
+    def gossip_tick(self, peer_id: str, now: float) -> bool:
+        """One active exchange: meet a PSS peer, swap direct records."""
+        partner = self._pss.sample(peer_id)
+        if partner is None or partner == peer_id:
+            return False
+        self._exchange(peer_id, partner, now)
+        self.exchanges += 1
+        return True
+
+    def _exchange(self, a: str, b: str, now: float) -> None:
+        for sender, receiver in ((a, b), (b, a)):
+            records = self.records_of(sender)
+            recv_state = self._state(receiver)
+            for rec in records:
+                # Acceptance rule: sender must be the reporter.
+                if rec.reporter != sender:
+                    continue
+                recv_state.graph.add_record(rec)
+
+    def records_of(self, peer_id: str) -> List[TransferRecord]:
+        """The node's own direct records, most-significant first,
+        truncated to the per-exchange budget."""
+        st = self._state(peer_id)
+        items = sorted(
+            st.direct.items(),
+            key=lambda kv: -(kv[1][0] + kv[1][1]),
+        )[: self.config.max_records_per_exchange]
+        return [
+            TransferRecord(
+                reporter=peer_id,
+                partner=partner,
+                up=totals[0],
+                down=totals[1],
+                timestamp=totals[2],
+            )
+            for partner, totals in items
+        ]
+
+    # ------------------------------------------------------------------
+    # Contribution oracle
+    # ------------------------------------------------------------------
+    def contribution(self, observer: str, subject: str) -> float:
+        """``f_{subject→observer}``: max flow from ``subject`` to
+        ``observer`` in the observer's subjective graph (bytes)."""
+        if observer == subject:
+            return 0.0
+        graph = self._state(observer).graph
+        if self.config.max_hops == 2:
+            return two_hop_flow(graph, subject, observer)
+        return edmonds_karp(graph, subject, observer, max_hops=self.config.max_hops)
+
+    def graph_of(self, peer_id: str) -> SubjectiveGraph:
+        """The node's subjective graph (read-mostly; metrics use)."""
+        return self._state(peer_id).graph

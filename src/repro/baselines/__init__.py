@@ -1,0 +1,26 @@
+"""Baseline systems the paper compares against (§VIII).
+
+* :mod:`repro.baselines.credence` — a faithful simplification of
+  Credence [Walsh & Sirer, NSDI'06]: object (file) voting with
+  correlation-weighted evaluation.  The paper's central contrast:
+  Credence leaves non-voting clients *isolated* (they can weight
+  nobody), "nearly fifty percent of clients" in the original study,
+  whereas vote sampling on moderators "works for all peers, regardless
+  of their voting habits".  The bench
+  ``benchmarks/test_baseline_credence.py`` reproduces that contrast.
+"""
+
+from repro.baselines.aggregation import PushSumAggregation, PushSumNode
+from repro.baselines.credence import (
+    CredenceConfig,
+    CredenceNode,
+    CredenceSimulation,
+)
+
+__all__ = [
+    "CredenceConfig",
+    "CredenceNode",
+    "CredenceSimulation",
+    "PushSumAggregation",
+    "PushSumNode",
+]

@@ -1,0 +1,40 @@
+"""Piece-level BitTorrent swarm simulator.
+
+Section VI of the paper: "Our simulations operate at the BitTorrent
+file piece level.  This means we simulate every action that a
+BitTorrent client would need to take, down to the exchange of file
+chunks, peer choking and piece selection."
+
+This package is that simulator:
+
+* :mod:`repro.bittorrent.bitfield` — piece possession bitfields;
+* :mod:`repro.bittorrent.picker` — rarest-first (+ random-first) piece
+  selection;
+* :mod:`repro.bittorrent.choker` — tit-for-tat choking with optimistic
+  unchoke; seeds use round-robin unchoking;
+* :mod:`repro.bittorrent.swarm` — per-swarm state, connectability
+  rules, round-based rate allocation and piece completion;
+* :mod:`repro.bittorrent.ledger` — the directed transfer ledger that
+  BarterCast consumes;
+* :mod:`repro.bittorrent.session` — the trace-driven session driver
+  that binds everything to the discrete-event engine.
+"""
+
+from repro.bittorrent.bitfield import Bitfield
+from repro.bittorrent.choker import Choker, ChokerConfig
+from repro.bittorrent.ledger import TransferLedger
+from repro.bittorrent.picker import PiecePicker
+from repro.bittorrent.session import BitTorrentSession, SessionConfig
+from repro.bittorrent.swarm import Swarm, SwarmConfig
+
+__all__ = [
+    "Bitfield",
+    "Choker",
+    "ChokerConfig",
+    "TransferLedger",
+    "PiecePicker",
+    "BitTorrentSession",
+    "SessionConfig",
+    "Swarm",
+    "SwarmConfig",
+]

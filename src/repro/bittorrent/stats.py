@@ -1,0 +1,132 @@
+"""Swarm-level statistics.
+
+Instrumentation over :class:`~repro.bittorrent.swarm.Swarm` /
+:class:`~repro.bittorrent.session.BitTorrentSession`: download
+completion times, seeder/leecher population series, and per-peer
+throughput — the numbers a tracker operator (or a paper's §VI) reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bittorrent.session import BitTorrentSession
+from repro.bittorrent.swarm import Swarm
+
+
+@dataclass
+class CompletionRecord:
+    """One finished download."""
+
+    peer_id: str
+    swarm_id: str
+    completed_at: float
+
+
+@dataclass
+class SwarmSnapshot:
+    """Seeder/leecher census of one swarm at one instant."""
+
+    time: float
+    seeds: int
+    leechers: int
+
+    @property
+    def total(self) -> int:
+        return self.seeds + self.leechers
+
+
+class SwarmStats:
+    """Collects completions and periodic censuses across all swarms.
+
+    Attach before the run::
+
+        stats = SwarmStats(session)
+        stats.install()
+        session.run()
+        print(stats.completion_times())
+    """
+
+    def __init__(self, session: BitTorrentSession, census_interval: float = 3600.0):
+        if census_interval <= 0:
+            raise ValueError("census_interval must be positive")
+        self.session = session
+        self.census_interval = census_interval
+        self.completions: List[CompletionRecord] = []
+        self.censuses: Dict[str, List[SwarmSnapshot]] = {
+            sid: [] for sid in session.swarms
+        }
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Register listeners and schedule the census loop."""
+        if self._installed:
+            raise RuntimeError("already installed")
+        self._installed = True
+        for swarm in self.session.swarms.values():
+            swarm.add_completion_listener(self._on_completion)
+        self.session.engine.schedule(
+            self.census_interval, self._census, priority=90
+        )
+
+    def _on_completion(self, peer_id: str, swarm_id: str, now: float) -> None:
+        self.completions.append(CompletionRecord(peer_id, swarm_id, now))
+
+    def _census(self) -> None:
+        now = self.session.engine.now
+        for sid, swarm in self.session.swarms.items():
+            self.censuses[sid].append(
+                SwarmSnapshot(
+                    time=now,
+                    seeds=len(swarm.seeds()),
+                    leechers=len(swarm.leechers()),
+                )
+            )
+        if now < self.session.trace.duration:
+            self.session.engine.schedule(
+                self.census_interval, self._census, priority=90
+            )
+
+    # ------------------------------------------------------------------
+    def completion_times(self, swarm_id: Optional[str] = None) -> List[float]:
+        """Completion timestamps, optionally for one swarm."""
+        return [
+            c.completed_at
+            for c in self.completions
+            if swarm_id is None or c.swarm_id == swarm_id
+        ]
+
+    def completions_by_swarm(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for c in self.completions:
+            out[c.swarm_id] = out.get(c.swarm_id, 0) + 1
+        return out
+
+    def mean_seed_leecher_ratio(self, swarm_id: str) -> float:
+        """Time-averaged seeds/(leechers+1) — availability health."""
+        snaps = self.censuses.get(swarm_id, [])
+        if not snaps:
+            return 0.0
+        return float(np.mean([s.seeds / (s.leechers + 1) for s in snaps]))
+
+    def peak_swarm_size(self, swarm_id: str) -> int:
+        snaps = self.censuses.get(swarm_id, [])
+        return max((s.total for s in snaps), default=0)
+
+    def throughput_by_peer(self) -> Dict[str, float]:
+        """Total uploaded bytes per peer (from the shared ledger)."""
+        ledger = self.session.ledger
+        peers = set(self.session.trace.peers)
+        return {p: ledger.uploaded_by(p) for p in peers}
+
+
+def download_duration(swarm: Swarm, peer_id: str, joined_at: float) -> Optional[float]:
+    """Seconds from ``joined_at`` to the peer's completion, if any."""
+    member = swarm.members.get(peer_id)
+    if member is None or member.completed_at is None:
+        return None
+    return max(0.0, member.completed_at - joined_at)

@@ -1,0 +1,343 @@
+"""Swarm state and the round-based transfer engine.
+
+Each swarm advances in fixed *rounds* (default 30 s — a small multiple
+of mainline's 10 s choke interval).  A round:
+
+1. recomputes interest and runs every active peer's choker;
+2. allocates rates — an uploader splits its capacity evenly across its
+   unchoked+interested links, then each downloader's incoming rates are
+   scaled down to its download capacity;
+3. moves bytes along links, converting them into pieces via
+   rarest-first picking (partial pieces carry over between rounds);
+4. handles completions: altruists keep seeding, free-riders leave the
+   swarm immediately (the behaviour split §VI simulates).
+
+Piece identity is tracked end-to-end: a downloader only ever completes
+pieces its uploader actually holds, in-flight pieces are not picked
+twice, and the final piece costs only the file remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.bittorrent.bitfield import Bitfield
+from repro.bittorrent.choker import Choker, ChokerConfig
+from repro.bittorrent.ledger import TransferLedger
+from repro.bittorrent.picker import PiecePicker
+from repro.traces.model import PeerProfile, SwarmSpec
+
+
+@dataclass
+class SwarmConfig:
+    """Per-swarm engine parameters."""
+
+    max_connections: int = 30
+    round_interval: float = 30.0
+    random_first_threshold: int = 4
+    choker: ChokerConfig = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        if self.round_interval <= 0:
+            raise ValueError("round_interval must be positive")
+        if self.choker is None:
+            self.choker = ChokerConfig()
+
+
+class SwarmPeer:
+    """Per-(swarm, peer) state.  Survives across sessions so partial
+    downloads resume, mirroring a real client's disk state."""
+
+    __slots__ = (
+        "profile",
+        "bitfield",
+        "choker",
+        "active",
+        "received_last_round",
+        "accum",
+        "in_flight",
+        "in_flight_mask",
+        "completed_at",
+    )
+
+    def __init__(self, profile: PeerProfile, num_pieces: int, choker: Choker):
+        self.profile = profile
+        self.bitfield = Bitfield(num_pieces)
+        self.choker = choker
+        self.active = False
+        #: bytes received per uploader during the current round (t4t signal)
+        self.received_last_round: Dict[str, float] = {}
+        #: partial-piece bytes accumulated per uploader
+        self.accum: Dict[str, float] = {}
+        #: piece currently being fetched from each uploader
+        self.in_flight: Dict[str, int] = {}
+        self.in_flight_mask = np.zeros(num_pieces, dtype=bool)
+        self.completed_at: Optional[float] = None
+
+    @property
+    def peer_id(self) -> str:
+        return self.profile.peer_id
+
+    def reset_link_state(self) -> None:
+        """Drop in-flight transfer state (on leave: connections die)."""
+        self.received_last_round = {}
+        self.accum = {}
+        self.in_flight = {}
+        self.in_flight_mask[:] = False
+
+
+class Swarm:
+    """One torrent's swarm: membership, connections, and transfers."""
+
+    def __init__(
+        self,
+        spec: SwarmSpec,
+        config: SwarmConfig,
+        rng: np.random.Generator,
+        ledger: TransferLedger,
+    ):
+        self.spec = spec
+        self.config = config
+        self._rng = rng
+        self.ledger = ledger
+        self.num_pieces = spec.num_pieces
+        self.picker = PiecePicker(
+            self.num_pieces, rng, random_first_threshold=config.random_first_threshold
+        )
+        #: every peer that ever joined (bitfields persist)
+        self.members: Dict[str, SwarmPeer] = {}
+        #: currently active members
+        self.active: Dict[str, SwarmPeer] = {}
+        self.neighbors: Dict[str, Set[str]] = {}
+        self.rounds_run = 0
+        self._completion_listeners: List[Callable[[str, str, float], None]] = []
+        # Piece cost: uniform except the final remainder piece.
+        last = spec.file_size - (self.num_pieces - 1) * spec.piece_size
+        self._last_piece_cost = max(last, 1.0)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def piece_cost(self, index: int) -> float:
+        if index == self.num_pieces - 1:
+            return self._last_piece_cost
+        return self.spec.piece_size
+
+    def add_completion_listener(
+        self, listener: Callable[[str, str, float], None]
+    ) -> None:
+        """``listener(peer_id, swarm_id, now)`` on download completion."""
+        self._completion_listeners.append(listener)
+
+    def progress_of(self, peer_id: str) -> float:
+        member = self.members.get(peer_id)
+        if member is None:
+            return 0.0
+        return member.bitfield.count / self.num_pieces
+
+    def seeds(self) -> List[str]:
+        return [p for p, m in self.active.items() if m.bitfield.complete]
+
+    def leechers(self) -> List[str]:
+        return [p for p, m in self.active.items() if not m.bitfield.complete]
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def join(self, profile: PeerProfile, now: float) -> bool:
+        """Add a peer to the active swarm.  Returns ``False`` if the
+        join is refused/meaningless (already active, or a free-rider
+        that already holds the full file — it has nothing to gain and
+        will not seed)."""
+        pid = profile.peer_id
+        member = self.members.get(pid)
+        if member is None:
+            choker = Choker(self.config.choker, self._rng)
+            member = SwarmPeer(profile, self.num_pieces, choker)
+            if self.spec.initial_seeder == pid:
+                member.bitfield.fill()
+                member.completed_at = now
+            self.members[pid] = member
+        if member.active:
+            return False
+        if profile.free_rider and member.bitfield.complete:
+            return False
+        member.active = True
+        self.active[pid] = member
+        self.picker.peer_joined(member.bitfield)
+        self._connect(pid)
+        return True
+
+    def leave(self, peer_id: str, now: float) -> None:
+        """Remove a peer from the active swarm.  Idempotent."""
+        member = self.active.pop(peer_id, None)
+        if member is None:
+            return
+        member.active = False
+        member.reset_link_state()
+        self.picker.peer_left(member.bitfield)
+        for nb in self.neighbors.pop(peer_id, set()):
+            self.neighbors.get(nb, set()).discard(peer_id)
+
+    def _connect(self, pid: str) -> None:
+        """Open connections to up to ``max_connections`` active members,
+        respecting connectability (two firewalled peers cannot connect)."""
+        me = self.members[pid].profile
+        mine = self.neighbors.setdefault(pid, set())
+        candidates = [
+            other
+            for other in self.active
+            if other != pid
+            and other not in mine
+            and (me.connectable or self.members[other].profile.connectable)
+            and len(self.neighbors.get(other, ())) < 4 * self.config.max_connections
+        ]
+        budget = self.config.max_connections - len(mine)
+        if budget <= 0 or not candidates:
+            return
+        if len(candidates) > budget:
+            picks = self._rng.choice(len(candidates), size=budget, replace=False)
+            chosen = [candidates[int(i)] for i in picks]
+        else:
+            chosen = candidates
+        for other in chosen:
+            mine.add(other)
+            self.neighbors.setdefault(other, set()).add(pid)
+
+    # ------------------------------------------------------------------
+    # Round engine
+    # ------------------------------------------------------------------
+    def run_round(self, now: float, dt: Optional[float] = None) -> float:
+        """Advance the swarm by one round of ``dt`` seconds.
+
+        Returns the number of bytes transferred this round.
+        """
+        dt = dt if dt is not None else self.config.round_interval
+        self.rounds_run += 1
+        if len(self.active) < 2:
+            return 0.0
+        links = self._choke_and_link()
+        if not links:
+            # Reset t4t signal so stale rates do not linger.
+            for member in self.active.values():
+                member.received_last_round = {}
+            return 0.0
+        moved = self._transfer(links, now, dt)
+        self._handle_completions(now)
+        return moved
+
+    def _choke_and_link(self) -> List[tuple]:
+        """Run every active peer's choker; return (uploader, downloader)
+        links that are unchoked *and* interested."""
+        links: List[tuple] = []
+        # Stable iteration order for determinism.
+        order = sorted(self.active)
+        interest: Dict[str, List[str]] = {}
+        for pid in order:
+            member = self.active[pid]
+            nbs = sorted(self.neighbors.get(pid, ()))
+            interested_in_me = [
+                nb
+                for nb in nbs
+                if nb in self.active
+                and self.active[nb].bitfield.is_interested_in(member.bitfield)
+            ]
+            interest[pid] = interested_in_me
+        for pid in order:
+            member = self.active[pid]
+            unchoked = member.choker.select(
+                interest[pid],
+                member.received_last_round,
+                seeding=member.bitfield.complete,
+            )
+            for d in unchoked:
+                links.append((pid, d))
+        return links
+
+    def _transfer(self, links: List[tuple], now: float, dt: float) -> float:
+        # Upload-side allocation: capacity split evenly across links.
+        out_degree: Dict[str, int] = {}
+        for u, _d in links:
+            out_degree[u] = out_degree.get(u, 0) + 1
+        rates: Dict[tuple, float] = {}
+        in_sum: Dict[str, float] = {}
+        for u, d in links:
+            r = self.active[u].profile.upload_capacity / out_degree[u]
+            rates[(u, d)] = r
+            in_sum[d] = in_sum.get(d, 0.0) + r
+        # Download-side cap: proportional scale-down.
+        scale: Dict[str, float] = {}
+        for d, total in in_sum.items():
+            cap = self.active[d].profile.download_capacity
+            scale[d] = min(1.0, cap / total) if total > 0 else 1.0
+        # Reset this round's reception record.
+        for pid in self.active:
+            self.active[pid].received_last_round = {}
+        moved = 0.0
+        for (u, d), r in rates.items():
+            nbytes = r * scale[d] * dt
+            if nbytes <= 0:
+                continue
+            delivered = self._deliver(u, d, nbytes, now)
+            if delivered > 0:
+                moved += delivered
+        return moved
+
+    def _deliver(self, u: str, d: str, nbytes: float, now: float) -> float:
+        """Move up to ``nbytes`` from ``u`` to ``d``, completing pieces."""
+        down = self.active[d]
+        up = self.active[u]
+        budget = nbytes
+        delivered = 0.0
+        while budget > 0:
+            piece = down.in_flight.get(u)
+            if piece is None:
+                piece = self.picker.pick(
+                    down.bitfield, up.bitfield, exclude=down.in_flight_mask
+                )
+                if piece is None:
+                    break  # nothing (more) to fetch from u
+                down.in_flight[u] = piece
+                down.in_flight_mask[piece] = True
+                down.accum[u] = 0.0
+            cost = self.piece_cost(piece)
+            need = cost - down.accum.get(u, 0.0)
+            take = min(budget, need)
+            down.accum[u] = down.accum.get(u, 0.0) + take
+            budget -= take
+            delivered += take
+            if down.accum[u] >= cost - 1e-9:
+                # Piece complete.
+                down.in_flight.pop(u, None)
+                down.in_flight_mask[piece] = False
+                down.accum[u] = 0.0
+                if down.bitfield.set(piece):
+                    self.picker.piece_completed(piece)
+                if down.bitfield.complete:
+                    break
+        if delivered > 0:
+            self.ledger.record(u, d, delivered, now)
+            down.received_last_round[u] = (
+                down.received_last_round.get(u, 0.0) + delivered
+            )
+        return delivered
+
+    def _handle_completions(self, now: float) -> None:
+        finished = [
+            pid
+            for pid, m in self.active.items()
+            if m.bitfield.complete and m.completed_at is None
+        ]
+        for pid in finished:
+            member = self.active[pid]
+            member.completed_at = now
+            for listener in self._completion_listeners:
+                listener(pid, self.spec.swarm_id, now)
+            if member.profile.free_rider:
+                # Free-riders leave as soon as the download completes.
+                self.leave(pid, now)

@@ -1,0 +1,18 @@
+"""Media-client layer.
+
+The paper's motivation (§I): users need to *search and browse* freely
+available content and see high-quality metadata first.  This package is
+the client-side functionality a Tribler-like application builds on top
+of the protocol node:
+
+* :mod:`repro.client.search` — an inverted-index keyword search over
+  the local moderation database;
+* :mod:`repro.client.client` — :class:`MediaClient`, the user-facing
+  facade: search (results ordered by moderator rank), browse the top-K
+  moderator screen (§V-A's incentive display), vote, publish.
+"""
+
+from repro.client.client import MediaClient, SearchResult
+from repro.client.search import InvertedIndex
+
+__all__ = ["MediaClient", "SearchResult", "InvertedIndex"]

@@ -1,0 +1,155 @@
+"""The user-facing media client facade.
+
+Wraps one :class:`~repro.core.node.VoteSamplingNode` with the
+functionality the paper's introduction motivates: keyword search whose
+results are ordered by moderator reputation, the top-K moderator screen
+(§V-A suggests it as a psychological incentive for moderators), and
+one-click vote/publish actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.client.search import InvertedIndex
+from repro.core.moderation import Moderation
+from repro.core.node import VoteSamplingNode
+from repro.core.ranking import top_k
+from repro.core.votes import Vote
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One search hit, scored by text match and moderator standing."""
+
+    moderation: Moderation
+    text_score: int
+    moderator_score: float
+    combined_score: float
+
+    @property
+    def torrent_id(self) -> str:
+        return self.moderation.torrent_id
+
+    @property
+    def moderator_id(self) -> str:
+        return self.moderation.moderator_id
+
+
+class MediaClient:
+    """What a Tribler-like UI talks to.
+
+    The client never touches the network directly — it reads/writes the
+    node's local state, and the protocol runtime keeps that state in
+    sync with the community.
+    """
+
+    def __init__(self, node: VoteSamplingNode):
+        self.node = node
+        self._index = InvertedIndex(node.store)
+
+    # ------------------------------------------------------------------
+    # Search & browse
+    # ------------------------------------------------------------------
+    def search(self, query: str, limit: int = 20) -> List[SearchResult]:
+        """Keyword search over known metadata, best first.
+
+        Text relevance is the primary key; among equally relevant hits,
+        metadata from higher-ranked moderators sorts first — this is
+        how the ranking layer actually suppresses spam in the UI.
+        """
+        ranking: Dict[str, float] = dict(self.node.current_ranking())
+        results = []
+        for mod, text_score in self._index.query(query):
+            mscore = ranking.get(mod.moderator_id, 0.0)
+            combined = float(text_score) + self._squash(mscore)
+            results.append(
+                SearchResult(
+                    moderation=mod,
+                    text_score=text_score,
+                    moderator_score=mscore,
+                    combined_score=combined,
+                )
+            )
+        results.sort(
+            key=lambda r: (-r.combined_score, r.moderator_id, r.torrent_id)
+        )
+        return results[:limit]
+
+    @staticmethod
+    def _squash(score: float) -> float:
+        """Map an unbounded moderator score into (−1, 1) so reputation
+        re-orders equally relevant hits but never outweighs an extra
+        matched search term."""
+        if score == float("inf"):
+            return 1.0
+        if score == float("-inf"):
+            return -1.0
+        return score / (1.0 + abs(score))
+
+    def top_moderators(self, k: Optional[int] = None) -> List[str]:
+        """The §V-A incentive screen: the community's top-K moderators
+        as estimated from this node's sample."""
+        k = k if k is not None else self.node.config.k
+        return top_k(self.node.current_ranking(), k)
+
+    def top_moderators_detailed(
+        self, k: Optional[int] = None
+    ) -> List[Dict[str, object]]:
+        """The incentive screen with vote statistics: §V-A suggests
+        showing each top moderator "along with their estimated
+        percentage of the popular vote"."""
+        k = k if k is not None else self.node.config.k
+        rows: List[Dict[str, object]] = []
+        for moderator_id, score in self.node.current_ranking()[:k]:
+            pos, neg = self.node.ballot_box.counts(moderator_id)
+            total = pos + neg
+            rows.append(
+                {
+                    "moderator": moderator_id,
+                    "score": score,
+                    "positive_votes": pos,
+                    "negative_votes": neg,
+                    "popular_vote_pct": (100.0 * pos / total) if total else None,
+                    "moderations_known": len(
+                        self.node.store.by_moderator(moderator_id)
+                    ),
+                }
+            )
+        return rows
+
+    def browse_moderator(self, moderator_id: str) -> List[Moderation]:
+        """All locally-known metadata by one moderator."""
+        return self.node.store.by_moderator(moderator_id)
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def approve(self, moderator_id: str, now: float) -> None:
+        """Thumbs-up: start forwarding this moderator's metadata."""
+        self.node.cast_vote(moderator_id, Vote.POSITIVE, now)
+
+    def disapprove(self, moderator_id: str, now: float) -> None:
+        """Thumbs-down: purge and block this moderator's metadata."""
+        self.node.cast_vote(moderator_id, Vote.NEGATIVE, now)
+
+    def publish(
+        self, torrent_id: str, title: str, now: float, description: str = ""
+    ) -> Moderation:
+        """Author a moderation as the local user."""
+        return self.node.create_moderation(
+            torrent_id, title, now, description=description
+        )
+
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        """UI status bar: sample health and database size."""
+        return {
+            "peer_id": self.node.peer_id,
+            "moderations": len(self.node.store),
+            "ballot_voters": self.node.ballot_box.num_unique_users(),
+            "bootstrapping": self.node.needs_bootstrap(),
+            "votes_cast": len(self.node.vote_list),
+            "indexed_terms": self._index.term_count(),
+        }

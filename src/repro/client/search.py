@@ -1,0 +1,71 @@
+"""Keyword search over the local moderation database.
+
+A small inverted index: term → set of moderation keys.  Scoring is
+plain term-match count (the metadata corpus is tiny per node; rank
+weighting happens in the client, where moderator reputation lives).
+The index rebuilds itself lazily when the underlying store reports a
+new mutation count, so protocol code never pays indexing costs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set, Tuple
+
+from repro.core.moderation import Moderation, ModerationStore
+
+_TOKEN = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase alphanumeric tokens (order preserved, duplicates kept)."""
+    return _TOKEN.findall(text.lower())
+
+
+class InvertedIndex:
+    """Lazy inverted index over a :class:`ModerationStore`."""
+
+    def __init__(self, store: ModerationStore):
+        self._store = store
+        self._index: Dict[str, Set[Tuple[str, str]]] = {}
+        self._built_at = -1
+
+    # ------------------------------------------------------------------
+    def _ensure_fresh(self) -> None:
+        if self._built_at == self._store.mutation_count:
+            return
+        self._index.clear()
+        for mod in self._store.all_items():
+            for term in set(self._searchable_terms(mod)):
+                self._index.setdefault(term, set()).add(mod.key())
+        self._built_at = self._store.mutation_count
+
+    @staticmethod
+    def _searchable_terms(mod: Moderation) -> List[str]:
+        return tokenize(mod.title) + tokenize(mod.description) + tokenize(
+            mod.torrent_id
+        )
+
+    # ------------------------------------------------------------------
+    def query(self, text: str) -> List[Tuple[Moderation, int]]:
+        """Moderations matching any query term, with match counts,
+        best-match first (ties broken by recency then key)."""
+        self._ensure_fresh()
+        terms = set(tokenize(text))
+        if not terms:
+            return []
+        hits: Dict[Tuple[str, str], int] = {}
+        for term in terms:
+            for key in self._index.get(term, ()):
+                hits[key] = hits.get(key, 0) + 1
+        results = []
+        for key, count in hits.items():
+            mod = self._store.get(*key)
+            if mod is not None:
+                results.append((mod, count))
+        results.sort(key=lambda mc: (-mc[1], -(mc[0].created_at), mc[0].key()))
+        return results
+
+    def term_count(self) -> int:
+        self._ensure_fresh()
+        return len(self._index)

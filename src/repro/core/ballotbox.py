@@ -1,0 +1,121 @@
+"""The local ballot box (§V-A).
+
+Each entry maps ``(voter peer, moderator) → (vote, received_at)``.  The
+box holds votes from at most ``B_max`` *unique peers*; beyond that, the
+peer whose votes were received longest ago is evicted wholesale ("new
+votes replace the oldest votes").  One-node-one-vote-per-moderator is
+structural: a voter's repeated vote on the same moderator overwrites.
+
+Nodes never forward ballot-box contents — only their *own* vote lists —
+which is the design's defence against vote-count fabrication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.votes import Vote, VoteEntry
+
+
+class BallotBox:
+    """Bounded sample of other peers' votes."""
+
+    def __init__(self, b_max: int = 100):
+        if b_max < 1:
+            raise ValueError("b_max must be >= 1")
+        self.b_max = b_max
+        #: voter -> moderator -> (vote, received_at)
+        self._votes: Dict[str, Dict[str, Tuple[Vote, float]]] = {}
+        #: voter -> last time we received votes from them
+        self._last_received: Dict[str, float] = {}
+        self._seq = 0
+        self._voter_order: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def merge(self, voter: str, entries: Iterable[VoteEntry], now: float) -> int:
+        """Fold a voter's vote list into the box.
+
+        Returns the number of (new or updated) vote entries stored.
+        Eviction by unique-voter count runs after the merge.
+        """
+        entries = list(entries)
+        if not entries:
+            return 0
+        votes = self._votes.setdefault(voter, {})
+        stored = 0
+        for e in entries:
+            if e.moderator_id == voter:
+                # Self-votes carry no information; a moderator always
+                # approves of itself.
+                continue
+            votes[e.moderator_id] = (Vote(e.vote), now)
+            stored += 1
+        if not votes:
+            self._votes.pop(voter, None)
+            return 0
+        self._last_received[voter] = now
+        self._seq += 1
+        self._voter_order[voter] = self._seq
+        self._evict()
+        return stored
+
+    def _evict(self) -> None:
+        while len(self._votes) > self.b_max:
+            victim = min(self._voter_order, key=lambda v: self._voter_order[v])
+            self._votes.pop(victim, None)
+            self._last_received.pop(victim, None)
+            self._voter_order.pop(victim, None)
+
+    def remove_voter(self, voter: str) -> bool:
+        """Drop all votes from one peer (e.g. identity revoked)."""
+        if voter not in self._votes:
+            return False
+        del self._votes[voter]
+        self._last_received.pop(voter, None)
+        self._voter_order.pop(voter, None)
+        return True
+
+    # ------------------------------------------------------------------
+    def num_unique_users(self) -> int:
+        """The Fig 3 ``num_unique_users`` guard — voters sampled."""
+        return len(self._votes)
+
+    def voters(self) -> List[str]:
+        return sorted(self._votes)
+
+    def moderators(self) -> List[str]:
+        out = set()
+        for votes in self._votes.values():
+            out.update(votes.keys())
+        return sorted(out)
+
+    def counts(self, moderator_id: str) -> Tuple[int, int]:
+        """``(positive, negative)`` vote counts for a moderator."""
+        pos = neg = 0
+        for votes in self._votes.values():
+            entry = votes.get(moderator_id)
+            if entry is None:
+                continue
+            if entry[0] is Vote.POSITIVE:
+                pos += 1
+            else:
+                neg += 1
+        return pos, neg
+
+    def score(self, moderator_id: str) -> int:
+        """Summation score: positives − negatives."""
+        pos, neg = self.counts(moderator_id)
+        return pos - neg
+
+    def vote_of(self, voter: str, moderator_id: str):
+        entry = self._votes.get(voter, {}).get(moderator_id)
+        return entry[0] if entry else None
+
+    def total_votes(self) -> int:
+        return sum(len(v) for v in self._votes.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BallotBox(voters={len(self._votes)}/{self.b_max}, "
+            f"votes={self.total_votes()})"
+        )

@@ -1,0 +1,46 @@
+"""ModerationCast extract policy (§IV, Fig 1).
+
+The gossip loop itself is driven by the runtime; this module holds the
+``Extract()`` policy: which moderations a node offers a partner.
+
+Rules (Fig 2): a node forwards only moderations authored by itself or
+by moderators it *approved* (+ vote).  Within that eligible set the
+selection is *recency + random* — half the budget goes to the most
+recently received items, the rest is drawn uniformly — mirroring the
+vote-exchange policy the paper carried over from [6].
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.moderation import Moderation, ModerationStore
+from repro.core.votes import LocalVoteList
+
+
+def extract_moderations(
+    store: ModerationStore,
+    vote_list: LocalVoteList,
+    own_id: str,
+    max_items: int,
+    rng: np.random.Generator,
+) -> List[Moderation]:
+    """The ``Extract(local_db)`` of Fig 1 for one exchange."""
+    if max_items < 1:
+        return []
+    approved = vote_list.approved()
+    eligible = [
+        m
+        for m in store.recency_order()
+        if m.moderator_id == own_id or m.moderator_id in approved
+    ]
+    if len(eligible) <= max_items:
+        return eligible
+    recent_budget = max_items // 2
+    recent = eligible[:recent_budget]
+    rest = eligible[recent_budget:]
+    random_budget = max_items - recent_budget
+    picks = rng.choice(len(rest), size=random_budget, replace=False)
+    return recent + [rest[int(i)] for i in sorted(picks)]

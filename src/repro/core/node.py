@@ -1,0 +1,241 @@
+"""One peer's complete vote-sampling protocol state.
+
+:class:`VoteSamplingNode` composes the local moderation database, the
+local vote list, the ballot box and the VoxPopuli cache, and implements
+the per-message logic of Figs 1 and 3.  It is engine-agnostic — the
+:mod:`repro.core.runtime` schedules its exchanges — which keeps every
+protocol rule unit-testable in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.ballotbox import BallotBox
+from repro.core.moderation import Moderation, ModerationStore
+from repro.core.moderationcast import extract_moderations
+from repro.core.ranking import Ranking, rank_by_sum, top_k
+from repro.core.votes import LocalVoteList, Vote, VoteEntry
+from repro.core.voxpopuli import TopKCache
+
+
+@dataclass
+class NodeConfig:
+    """Protocol parameters (§VI defaults)."""
+
+    b_min: int = 5
+    b_max: int = 100
+    v_max: int = 10
+    k: int = 3
+    votes_per_exchange: int = 50
+    moderations_per_exchange: int = 25
+    moderation_store_capacity: int = 1000
+    #: Vote selection policy: "recency_random" (paper), "recency", "random".
+    exchange_policy: str = "recency_random"
+    #: Disable the VoxPopuli bootstrap entirely (ablation A6): nodes
+    #: below B_min simply have no ranking.
+    voxpopuli_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.exchange_policy not in ("recency_random", "recency", "random"):
+            raise ValueError(f"unknown exchange_policy {self.exchange_policy!r}")
+        if self.b_min < 1 or self.b_max < self.b_min:
+            raise ValueError("need 1 <= b_min <= b_max")
+        if self.v_max < 1 or self.k < 1:
+            raise ValueError("v_max and k must be >= 1")
+        if self.votes_per_exchange < 1 or self.moderations_per_exchange < 1:
+            raise ValueError("exchange budgets must be >= 1")
+
+
+class VoteSamplingNode:
+    """Protocol state and message handlers for one peer."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        config: Optional[NodeConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.peer_id = peer_id
+        self.config = config or NodeConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.store = ModerationStore(self.config.moderation_store_capacity)
+        self.vote_list = LocalVoteList()
+        self.ballot_box = BallotBox(self.config.b_max)
+        self.topk_cache = TopKCache(self.config.v_max, self.config.k)
+        #: votes the user will cast when the moderator's metadata arrives
+        self.vote_intentions: Dict[str, Vote] = {}
+        self.online = False
+        # Counters for instrumentation.
+        self.moderations_received = 0
+        self.votes_merged = 0
+        self.votes_rejected_inexperienced = 0
+        self.vp_requests_answered = 0
+
+    # ------------------------------------------------------------------
+    # User actions
+    # ------------------------------------------------------------------
+    def create_moderation(
+        self, torrent_id: str, title: str, now: float, description: str = ""
+    ) -> Moderation:
+        """Author a moderation (we are the moderator) and store it."""
+        mod = Moderation(
+            moderator_id=self.peer_id,
+            torrent_id=torrent_id,
+            title=title,
+            description=description,
+            created_at=now,
+        )
+        self.store.insert(mod, now)
+        return mod
+
+    def cast_vote(self, moderator_id: str, vote: Vote, now: float) -> None:
+        """The user approves/disapproves a moderator.
+
+        Disapproval purges the moderator's metadata from the local
+        database and blocks future moderations from them (§IV).
+        """
+        if moderator_id == self.peer_id:
+            raise ValueError("a node cannot vote on itself")
+        self.vote_list.cast(moderator_id, vote, now)
+        if Vote(vote) is Vote.NEGATIVE:
+            self.store.purge_moderator(moderator_id)
+
+    def set_vote_intention(self, moderator_id: str, vote: Vote) -> None:
+        """Declare how the user will vote once they actually *see*
+        metadata from this moderator (Fig 6 workload semantics: "Voting
+        nodes do not vote until they receive the appropriate
+        moderations")."""
+        self.vote_intentions[moderator_id] = Vote(vote)
+
+    # ------------------------------------------------------------------
+    # ModerationCast (Fig 1)
+    # ------------------------------------------------------------------
+    def moderations_to_send(self) -> List[Moderation]:
+        """``Extract(local_db)`` — own + approved moderators only."""
+        return extract_moderations(
+            self.store,
+            self.vote_list,
+            self.peer_id,
+            self.config.moderations_per_exchange,
+            self.rng,
+        )
+
+    def receive_moderations(self, items: Sequence[Moderation], now: float) -> int:
+        """``Merge(local_db, ml)`` — returns how many were newly stored.
+
+        Drops invalid signatures and anything from disapproved
+        moderators; fires pending vote intentions on first contact with
+        a moderator's metadata.
+        """
+        disapproved = self.vote_list.disapproved()
+        new_count = 0
+        for mod in items:
+            if not mod.signature_valid:
+                continue
+            if mod.moderator_id in disapproved:
+                continue
+            if mod.moderator_id == self.peer_id and mod.key() not in self.store:
+                # Somebody echoing our id with content we never made —
+                # signature checking upstream should prevent this, but
+                # never let it override our own authorship.
+                continue
+            if self.store.insert(mod, now):
+                new_count += 1
+                self.moderations_received += 1
+                self._maybe_apply_intention(mod.moderator_id, now)
+        self.store.enforce_capacity(self.vote_list.approved())
+        return new_count
+
+    def _maybe_apply_intention(self, moderator_id: str, now: float) -> None:
+        intention = self.vote_intentions.get(moderator_id)
+        if intention is not None and not self.vote_list.has_voted(moderator_id):
+            self.cast_vote(moderator_id, intention, now)
+
+    # ------------------------------------------------------------------
+    # BallotBox (Fig 3 a/b)
+    # ------------------------------------------------------------------
+    def votes_to_send(self) -> List[VoteEntry]:
+        """Our vote list, truncated to the exchange cap by the
+        configured selection policy."""
+        return self.vote_list.select_for_exchange(
+            self.config.votes_per_exchange,
+            self.rng,
+            policy=self.config.exchange_policy,
+        )
+
+    def receive_votes(
+        self, voter: str, entries: Sequence[VoteEntry], now: float, experienced: bool
+    ) -> int:
+        """Merge a received vote list iff the sender is experienced.
+
+        Returns the number of stored entries (0 on rejection).
+        """
+        if voter == self.peer_id:
+            return 0
+        if not experienced:
+            self.votes_rejected_inexperienced += 1
+            return 0
+        stored = self.ballot_box.merge(voter, entries, now)
+        self.votes_merged += stored
+        return stored
+
+    # ------------------------------------------------------------------
+    # VoxPopuli (Fig 3 a/c)
+    # ------------------------------------------------------------------
+    def needs_bootstrap(self) -> bool:
+        """Active thread condition: unique voters below ``B_min``."""
+        return self.ballot_box.num_unique_users() < self.config.b_min
+
+    def respond_top_k(self) -> Optional[List[str]]:
+        """Passive thread (Fig 3 c): answer with our top-K only when we
+        are *not* ourselves bootstrapping, else ``null`` — "this
+        prevents nodes unwittingly passing potentially malicious top-K
+        lists received from others"."""
+        if self.needs_bootstrap():
+            self.vp_requests_answered += 0
+            return None
+        self.vp_requests_answered += 1
+        return top_k(self.ballot_ranking(), self.config.k)
+
+    def receive_top_k(self, top_k_list: Optional[Sequence[str]]) -> None:
+        """Cache a VoxPopuli response (``null`` responses are ignored)."""
+        if top_k_list:
+            self.topk_cache.add(top_k_list)
+
+    # ------------------------------------------------------------------
+    # Ranking
+    # ------------------------------------------------------------------
+    def known_moderators(self) -> List[str]:
+        """Moderators this node can rank: metadata seen, votes heard,
+        own votes cast, or names from cached top-K lists."""
+        known = set(self.store.moderators())
+        known.update(self.ballot_box.moderators())
+        known.update(m for m in self.topk_cache.known_moderators())
+        known.update(e.moderator_id for e in self.vote_list.entries())
+        known.discard(self.peer_id)
+        return sorted(known)
+
+    def ballot_ranking(self) -> Ranking:
+        """Summation ranking over everything we know."""
+        return rank_by_sum(self.ballot_box, universe=self.known_moderators())
+
+    def current_ranking(self) -> Ranking:
+        """The ranking the UI would show right now.
+
+        Sample big enough (≥ ``B_min`` voters) → ballot-box statistics;
+        otherwise → VoxPopuli merged ranking (possibly empty if nothing
+        has been received yet)."""
+        if not self.needs_bootstrap():
+            return self.ballot_ranking()
+        return self.topk_cache.merged_ranking()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VoteSamplingNode({self.peer_id!r}, votes={len(self.vote_list)}, "
+            f"ballot={self.ballot_box.num_unique_users()}, "
+            f"mods={len(self.store)})"
+        )

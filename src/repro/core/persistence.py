@@ -1,0 +1,117 @@
+"""Node state (de)serialisation.
+
+Tribler "provides local database services allowing state to be
+maintained over sessions" (§I).  Inside one simulation run our node
+objects simply live on, but a real client restarts: this module
+round-trips a :class:`~repro.core.node.VoteSamplingNode`'s durable
+state (moderation database, own vote list, ballot box, VoxPopuli
+cache, pending vote intentions) through plain JSON.
+
+Volatile state is deliberately *not* persisted: protocol processes,
+online flags and instrumentation counters restart fresh, exactly as a
+client reboot would leave them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.core.moderation import Moderation
+from repro.core.node import NodeConfig, VoteSamplingNode
+from repro.core.votes import Vote, VoteEntry
+
+PathLike = Union[str, Path]
+FORMAT_VERSION = 1
+
+
+def node_to_dict(node: VoteSamplingNode) -> Dict[str, Any]:
+    """Extract the durable state as a JSON-serialisable dict."""
+    moderations = []
+    for mod in node.store.all_items():
+        moderations.append(
+            {
+                "moderator_id": mod.moderator_id,
+                "torrent_id": mod.torrent_id,
+                "title": mod.title,
+                "description": mod.description,
+                "created_at": mod.created_at,
+                "version": mod.version,
+                "received_at": node.store.received_at(mod),
+            }
+        )
+    votes = [
+        {"moderator": e.moderator_id, "vote": int(e.vote), "cast_at": e.cast_at}
+        for e in node.vote_list.entries()
+    ]
+    ballot = []
+    for voter in node.ballot_box.voters():
+        for moderator in node.ballot_box.moderators():
+            v = node.ballot_box.vote_of(voter, moderator)
+            if v is not None:
+                ballot.append({"voter": voter, "moderator": moderator, "vote": int(v)})
+    return {
+        "format": FORMAT_VERSION,
+        "peer_id": node.peer_id,
+        "config": {
+            "b_min": node.config.b_min,
+            "b_max": node.config.b_max,
+            "v_max": node.config.v_max,
+            "k": node.config.k,
+            "votes_per_exchange": node.config.votes_per_exchange,
+            "moderations_per_exchange": node.config.moderations_per_exchange,
+            "moderation_store_capacity": node.config.moderation_store_capacity,
+            "exchange_policy": node.config.exchange_policy,
+            "voxpopuli_enabled": node.config.voxpopuli_enabled,
+        },
+        "moderations": moderations,
+        "votes": votes,
+        "ballot": ballot,
+        "topk_lists": [list(lst) for lst in node.topk_cache._lists],
+        "intentions": {m: int(v) for m, v in node.vote_intentions.items()},
+    }
+
+
+def node_from_dict(
+    data: Dict[str, Any], rng: Union[np.random.Generator, None] = None
+) -> VoteSamplingNode:
+    """Reconstruct a node from :func:`node_to_dict` output."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported node-state format {data.get('format')!r}")
+    config = NodeConfig(**data["config"])
+    node = VoteSamplingNode(
+        data["peer_id"], config, rng if rng is not None else np.random.default_rng(0)
+    )
+    for rec in data["moderations"]:
+        received_at = rec.pop("received_at", 0.0)
+        node.store.insert(Moderation(**rec), received_at or 0.0)
+    for rec in data["votes"]:
+        node.vote_list.cast(rec["moderator"], Vote(rec["vote"]), rec["cast_at"])
+    # Group ballot entries per voter so merges preserve voter identity.
+    per_voter: Dict[str, list] = {}
+    for rec in data["ballot"]:
+        per_voter.setdefault(rec["voter"], []).append(
+            VoteEntry(rec["moderator"], Vote(rec["vote"]), 0.0)
+        )
+    for voter, entries in per_voter.items():
+        node.ballot_box.merge(voter, entries, now=0.0)
+    for lst in data["topk_lists"]:
+        node.topk_cache.add(lst)
+    for moderator, vote in data["intentions"].items():
+        node.set_vote_intention(moderator, Vote(vote))
+    return node
+
+
+def save_node(node: VoteSamplingNode, path: PathLike) -> None:
+    """Persist the node's durable state to ``path`` (JSON)."""
+    Path(path).write_text(json.dumps(node_to_dict(node)), encoding="utf-8")
+
+
+def load_node(
+    path: PathLike, rng: Union[np.random.Generator, None] = None
+) -> VoteSamplingNode:
+    """Restore a node persisted by :func:`save_node`."""
+    return node_from_dict(json.loads(Path(path).read_text(encoding="utf-8")), rng)

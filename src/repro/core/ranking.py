@@ -1,0 +1,101 @@
+"""Moderator ranking (§V-A) and the VoxPopuli rank merge (§V-C).
+
+Two ranking methods over a ballot box: plain **summation**
+(positives − negatives; the paper's default "any suitable method could
+be applied such as simple summation") and a **proportional** variant
+(net score over total votes, damped by a pseudo-count prior so a
+single vote does not pin a moderator to ±1).
+
+VoxPopuli merges cached top-K lists by **rank averaging**: a
+moderator's merged rank is the mean of its ranks over all cached
+lists, counting rank ``K+1`` in lists where it does not appear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.ballotbox import BallotBox
+
+#: A ranking: moderators best-first with their scores.
+Ranking = List[Tuple[str, float]]
+
+
+def rank_by_sum(
+    ballot_box: BallotBox, universe: Optional[Iterable[str]] = None
+) -> Ranking:
+    """Summation ranking; unvoted moderators from ``universe`` score 0.
+
+    Deterministic: ties break on moderator id.
+    """
+    moderators = set(ballot_box.moderators())
+    if universe is not None:
+        moderators.update(universe)
+    scored = [(m, float(ballot_box.score(m))) for m in moderators]
+    scored.sort(key=lambda ms: (-ms[1], ms[0]))
+    return scored
+
+
+def rank_proportional(
+    ballot_box: BallotBox,
+    universe: Optional[Iterable[str]] = None,
+    prior: float = 1.0,
+) -> Ranking:
+    """Proportional ranking: ``(pos − neg) / (pos + neg + prior)``."""
+    if prior < 0:
+        raise ValueError("prior must be non-negative")
+    moderators = set(ballot_box.moderators())
+    if universe is not None:
+        moderators.update(universe)
+    scored = []
+    for m in moderators:
+        pos, neg = ballot_box.counts(m)
+        scored.append((m, (pos - neg) / (pos + neg + prior)))
+    scored.sort(key=lambda ms: (-ms[1], ms[0]))
+    return scored
+
+
+def top_k(ranking: Ranking, k: int) -> List[str]:
+    """Best ``k`` moderator ids from a ranking."""
+    if k < 1:
+        return []
+    return [m for m, _s in ranking[:k]]
+
+
+def merge_rank_lists(lists: Sequence[Sequence[str]], k: int) -> Ranking:
+    """VoxPopuli rank-average merge.
+
+    Every moderator appearing in any list gets the average of its
+    1-based ranks across **all** lists, with rank ``k + 1`` where
+    absent.  Lower average rank is better; the returned scores are the
+    *negated* average ranks so that "higher score = better" matches the
+    other ranking functions.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not lists:
+        return []
+    seen: Dict[str, float] = {}
+    n = len(lists)
+    for lst in lists:
+        for pos, m in enumerate(lst[:k], start=1):
+            seen[m] = seen.get(m, 0.0) + pos
+    out: Ranking = []
+    for m, partial in seen.items():
+        appearances = sum(1 for lst in lists if m in lst[:k])
+        avg = (partial + (n - appearances) * (k + 1)) / n
+        out.append((m, -avg))
+    out.sort(key=lambda ms: (-ms[1], ms[0]))
+    return out
+
+
+def strictly_ordered(ranking: Ranking, order: Sequence[str]) -> bool:
+    """``True`` iff every moderator in ``order`` appears in the ranking
+    with *strictly* decreasing score — the Fig 6 correctness predicate
+    (ties or unknowns do not count as correct)."""
+    scores = dict(ranking)
+    try:
+        values = [scores[m] for m in order]
+    except KeyError:
+        return False
+    return all(a > b for a, b in zip(values, values[1:]))

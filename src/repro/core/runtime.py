@@ -1,0 +1,331 @@
+"""Protocol runtime — binds nodes, PSS, BarterCast and the engine.
+
+The runtime owns one :class:`~repro.core.node.VoteSamplingNode` per
+peer and drives the paper's ``do forever: wait Δ; …`` loops as jittered
+periodic processes per online node:
+
+* **ModerationCast tick** — push/pull moderation exchange (Fig 1);
+* **vote tick** — BallotBox exchange with experience gating, plus the
+  conditional VoxPopuli top-K request (Fig 3 a);
+* **BarterCast tick** — transfer-record gossip;
+* **Newscast tick** — view exchange (only when the gossip PSS is used);
+* **adaptive-T tick** — dispersion controller update (only when the
+  adaptive experience function is configured).
+
+Transfers observed by the BitTorrent ledger stream straight into
+BarterCast; experience is evaluated on demand at each vote exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.bartercast.protocol import BarterCastConfig, BarterCastService
+from repro.bittorrent.session import BitTorrentSession
+from repro.core.experience import (
+    AdaptiveThresholdExperience,
+    ExperienceFunction,
+    ThresholdExperience,
+)
+from repro.core.node import NodeConfig, VoteSamplingNode
+from repro.metrics.traffic import TrafficMeter
+from repro.pss.base import PeerSamplingService
+from repro.pss.ideal import OraclePSS
+from repro.pss.newscast import NewscastConfig, NewscastService
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RngRegistry
+from repro.sim.units import MB
+
+
+@dataclass
+class RuntimeConfig:
+    """Runtime parameters.
+
+    The paper does not pin Δ numerically; 5 minutes per protocol loop
+    gives each node ≈288 exchanges/day, comfortably faster than the
+    experience-formation dynamics that dominate the figures.
+    """
+
+    node: NodeConfig = field(default_factory=NodeConfig)
+    moderation_interval: float = 300.0
+    vote_interval: float = 300.0
+    bartercast_interval: float = 900.0
+    newscast_interval: float = 60.0
+    adaptive_update_interval: float = 900.0
+    #: Jitter each loop by ±(fraction · interval) to desynchronise.
+    jitter_fraction: float = 0.1
+    #: Use the Newscast gossip PSS instead of the oracle.
+    use_newscast: bool = False
+    #: T for the default threshold experience function (bytes).
+    experience_threshold: float = 5 * MB
+    bartercast: BarterCastConfig = field(default_factory=BarterCastConfig)
+    #: Probability that any protocol exchange fails (connection reset,
+    #: NAT timeout, …) beyond what churn already causes.  Failure
+    #: injection for robustness tests; 0 in the paper's experiments.
+    message_loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.message_loss < 1.0):
+            raise ValueError("message_loss must be in [0, 1)")
+        for name in (
+            "moderation_interval",
+            "vote_interval",
+            "bartercast_interval",
+            "newscast_interval",
+            "adaptive_update_interval",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not (0.0 <= self.jitter_fraction < 1.0):
+            raise ValueError("jitter_fraction must be in [0, 1)")
+
+
+NodeFactory = Callable[[str], VoteSamplingNode]
+
+
+class ProtocolRuntime:
+    """Drives the full protocol stack over one BitTorrent session."""
+
+    def __init__(
+        self,
+        session: BitTorrentSession,
+        rng: RngRegistry,
+        config: Optional[RuntimeConfig] = None,
+        experience: Optional[ExperienceFunction] = None,
+        pss: Optional[PeerSamplingService] = None,
+        node_factory: Optional[NodeFactory] = None,
+    ):
+        self.session = session
+        self.engine = session.engine
+        self.registry = session.registry
+        self.config = config or RuntimeConfig()
+        self._rng = rng
+        self._node_factory = node_factory
+
+        self.newscast: Optional[NewscastService] = None
+        if pss is not None:
+            self.pss = pss
+        elif self.config.use_newscast:
+            self.newscast = NewscastService(
+                self.registry, rng.stream("newscast"), NewscastConfig()
+            )
+            self.pss = self.newscast
+        else:
+            self.pss = OraclePSS(self.registry, rng.stream("pss"))
+
+        self.bartercast = BarterCastService(self.pss, self.config.bartercast)
+        session.ledger.add_listener(self.bartercast.local_transfer)
+
+        self.experience: ExperienceFunction = (
+            experience
+            if experience is not None
+            else ThresholdExperience(self.bartercast, self.config.experience_threshold)
+        )
+
+        self.nodes: Dict[str, VoteSamplingNode] = {}
+        self._processes: Dict[str, List[PeriodicProcess]] = {}
+        self.dropped_exchanges = 0
+        self.traffic = TrafficMeter()
+        #: accumulated online node-seconds (for per-node-hour costs)
+        self._online_seconds = 0.0
+        self._online_since: Dict[str, float] = {}
+
+        session.on_peer_online(self._peer_online)
+        session.on_peer_offline(self._peer_offline)
+
+    # ------------------------------------------------------------------
+    # Node lifecycle
+    # ------------------------------------------------------------------
+    def ensure_node(self, peer_id: str) -> VoteSamplingNode:
+        """Get (creating if needed) the protocol node for a peer."""
+        node = self.nodes.get(peer_id)
+        if node is None:
+            if self._node_factory is not None:
+                node = self._node_factory(peer_id)
+            else:
+                node = VoteSamplingNode(
+                    peer_id, self.config.node, self._rng.stream("node", peer_id)
+                )
+            self.nodes[peer_id] = node
+        return node
+
+    def register_node(self, node: VoteSamplingNode) -> None:
+        """Install a custom node object (attack models use this)."""
+        if node.peer_id in self.nodes:
+            raise ValueError(f"node {node.peer_id!r} already registered")
+        self.nodes[node.peer_id] = node
+
+    def bring_online(self, peer_id: str, now: float) -> None:
+        """Manually bring a peer online (for peers outside the trace,
+        e.g. a flash crowd arriving mid-run)."""
+        self.registry.set_online(peer_id)
+        self._peer_online(peer_id, now)
+
+    def take_offline(self, peer_id: str, now: float) -> None:
+        self.registry.set_offline(peer_id)
+        self._peer_offline(peer_id, now)
+
+    # ------------------------------------------------------------------
+    def _peer_online(self, peer_id: str, now: float) -> None:
+        node = self.ensure_node(peer_id)
+        if node.online:
+            return
+        node.online = True
+        self._online_since[peer_id] = now
+        if self.newscast is not None:
+            self.newscast.node_online(peer_id, now)
+        for proc in self._processes_for(peer_id):
+            proc.start()
+
+    def _peer_offline(self, peer_id: str, now: float) -> None:
+        node = self.nodes.get(peer_id)
+        if node is None or not node.online:
+            return
+        node.online = False
+        since = self._online_since.pop(peer_id, None)
+        if since is not None:
+            self._online_seconds += max(0.0, now - since)
+        if self.newscast is not None:
+            self.newscast.node_offline(peer_id)
+        for proc in self._processes.get(peer_id, ()):
+            proc.stop()
+
+    def _processes_for(self, peer_id: str) -> List[PeriodicProcess]:
+        procs = self._processes.get(peer_id)
+        if procs is not None:
+            return procs
+        cfg = self.config
+        jrng = self._rng.stream("jitter", peer_id)
+
+        def make(interval: float, action: Callable[[], None]) -> PeriodicProcess:
+            return PeriodicProcess(
+                self.engine,
+                interval,
+                action,
+                jitter=interval * cfg.jitter_fraction,
+                rng=jrng,
+            )
+
+        procs = [
+            make(cfg.moderation_interval, lambda: self._moderation_tick(peer_id)),
+            make(cfg.vote_interval, lambda: self._vote_tick(peer_id)),
+            make(cfg.bartercast_interval, lambda: self._bartercast_tick(peer_id)),
+        ]
+        if self.newscast is not None:
+            procs.append(
+                make(cfg.newscast_interval, lambda: self._newscast_tick(peer_id))
+            )
+        if isinstance(self.experience, AdaptiveThresholdExperience):
+            procs.append(
+                make(cfg.adaptive_update_interval, lambda: self._adaptive_tick(peer_id))
+            )
+        self._processes[peer_id] = procs
+        return procs
+
+    def online_node_hours(self) -> float:
+        """Accumulated online node-hours (closed sessions plus the
+        still-open ones up to the current simulated time)."""
+        total = self._online_seconds
+        now = self.engine.now
+        for since in self._online_since.values():
+            total += max(0.0, now - since)
+        return total / 3600.0
+
+    # ------------------------------------------------------------------
+    # Ticks
+    # ------------------------------------------------------------------
+    def _partner_for(self, peer_id: str) -> Optional[VoteSamplingNode]:
+        partner = self.pss.sample(peer_id)
+        if partner is None or partner == peer_id:
+            return None
+        if not self.registry.is_online(partner):
+            # Stale PSS entry (possible with Newscast) = failed connect.
+            return None
+        if self.config.message_loss > 0.0:
+            if self._rng.stream("message-loss").random() < self.config.message_loss:
+                self.dropped_exchanges += 1
+                return None
+        return self.ensure_node(partner)
+
+    def _moderation_tick(self, peer_id: str) -> None:
+        node = self.nodes[peer_id]
+        if not node.online:
+            return
+        partner = self._partner_for(peer_id)
+        if partner is None:
+            return
+        now = self.engine.now
+        # Push/pull (Fig 1): both sides extract then merge.
+        outbound = node.moderations_to_send()
+        inbound = partner.moderations_to_send()
+        partner.receive_moderations(outbound, now)
+        node.receive_moderations(inbound, now)
+        self.traffic.moderation_exchange(len(outbound), len(inbound))
+
+    def _vote_tick(self, peer_id: str) -> None:
+        node = self.nodes[peer_id]
+        if not node.online:
+            return
+        partner = self._partner_for(peer_id)
+        if partner is None:
+            return
+        now = self.engine.now
+        # BallotBox (Fig 3 a+b): bidirectional vote-list exchange, each
+        # side gating on its own experience evaluation of the other.
+        votes_out = node.votes_to_send()
+        votes_in = partner.votes_to_send()
+        node.receive_votes(
+            partner.peer_id,
+            votes_in,
+            now,
+            experienced=self.experience.is_experienced(peer_id, partner.peer_id),
+        )
+        partner.receive_votes(
+            peer_id,
+            votes_out,
+            now,
+            experienced=self.experience.is_experienced(partner.peer_id, peer_id),
+        )
+        self.traffic.vote_exchange(len(votes_out), len(votes_in))
+        # VoxPopuli (Fig 3 a+c): only while bootstrapping.
+        if node.config.voxpopuli_enabled and node.needs_bootstrap():
+            response = partner.respond_top_k()
+            node.receive_top_k(response)
+            self.traffic.voxpopuli_exchange(len(response) if response else 0)
+
+    def _bartercast_tick(self, peer_id: str) -> None:
+        node = self.nodes[peer_id]
+        if not node.online:
+            return
+        before = self.bartercast.exchanges
+        self.bartercast.gossip_tick(peer_id, self.engine.now)
+        if self.bartercast.exchanges > before:
+            # Both directions carry up to the per-exchange record cap.
+            n = len(self.bartercast.records_of(peer_id))
+            self.traffic.bartercast_exchange(n)
+
+    def _newscast_tick(self, peer_id: str) -> None:
+        node = self.nodes[peer_id]
+        if not node.online:
+            return
+        assert self.newscast is not None
+        if self.newscast.gossip_tick(peer_id, self.engine.now):
+            self.traffic.newscast_exchange(
+                2 * self.newscast.config.view_size
+            )
+
+    def _adaptive_tick(self, peer_id: str) -> None:
+        node = self.nodes[peer_id]
+        if not node.online:
+            return
+        assert isinstance(self.experience, AdaptiveThresholdExperience)
+        before = self.experience.threshold_for(peer_id)
+        after = self.experience.update(peer_id, node.ballot_box)
+        if after > before:
+            # Raising T means "shield myself from the votes of
+            # newcomers": re-screen the ballot box so votes accepted
+            # under the looser threshold no longer count.
+            for voter in node.ballot_box.voters():
+                if not self.experience.is_experienced(peer_id, voter):
+                    node.ballot_box.remove_voter(voter)

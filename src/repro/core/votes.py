@@ -1,0 +1,120 @@
+"""Votes and the local vote list (§V-A).
+
+A vote is +1 (approval) or −1 (disapproval) of a **moderator** (not of
+an individual moderation — the paper's key efficiency decision).  Each
+node keeps its own votes in a :class:`LocalVoteList`: one entry per
+moderator (re-voting replaces), timestamped, ordered.  Exchanges send
+at most ``max_votes`` entries selected by the paper's *recency and
+random* policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class Vote(IntEnum):
+    """A thumbs-up / thumbs-down on a moderator."""
+
+    POSITIVE = 1
+    NEGATIVE = -1
+
+
+@dataclass(frozen=True)
+class VoteEntry:
+    """One (moderator, vote) pair with the time the vote was cast."""
+
+    moderator_id: str
+    vote: Vote
+    cast_at: float
+
+
+class LocalVoteList:
+    """The node's own ballot paper.
+
+    Invariant: at most one entry per moderator.  ``cast`` with a new
+    value replaces the old entry (the user changed their mind) and
+    refreshes the timestamp.
+    """
+
+    def __init__(self) -> None:
+        self._votes: Dict[str, VoteEntry] = {}
+
+    def cast(self, moderator_id: str, vote: Vote, now: float) -> VoteEntry:
+        """Record the local user's vote on a moderator."""
+        entry = VoteEntry(moderator_id, Vote(vote), now)
+        self._votes[moderator_id] = entry
+        return entry
+
+    def vote_on(self, moderator_id: str) -> Optional[Vote]:
+        entry = self._votes.get(moderator_id)
+        return entry.vote if entry else None
+
+    def has_voted(self, moderator_id: str) -> bool:
+        return moderator_id in self._votes
+
+    def entries(self) -> List[VoteEntry]:
+        """All entries, newest first (deterministic tie-break on id)."""
+        return sorted(
+            self._votes.values(), key=lambda e: (-e.cast_at, e.moderator_id)
+        )
+
+    def approved(self) -> frozenset:
+        """Moderators the local user gave a positive vote."""
+        return frozenset(
+            m for m, e in self._votes.items() if e.vote is Vote.POSITIVE
+        )
+
+    def disapproved(self) -> frozenset:
+        """Moderators the local user gave a negative vote."""
+        return frozenset(
+            m for m, e in self._votes.items() if e.vote is Vote.NEGATIVE
+        )
+
+    def select_for_exchange(
+        self,
+        max_votes: int,
+        rng: np.random.Generator,
+        policy: str = "recency_random",
+    ) -> List[VoteEntry]:
+        """Select votes to send, bounded by ``max_votes``.
+
+        Policies (the A2 ablation compares them):
+
+        * ``"recency_random"`` — the paper's default: half the budget
+          goes to the most recent votes, the rest is drawn uniformly
+          from the remainder ("experiments demonstrated that combining
+          these policies produced acceptable performance");
+        * ``"recency"`` — most recent only;
+        * ``"random"`` — uniform over all votes.
+
+        When the list fits the budget everything is sent.
+        """
+        if max_votes < 1:
+            return []
+        entries = self.entries()
+        if len(entries) <= max_votes:
+            return entries
+        if policy == "recency":
+            return entries[:max_votes]
+        if policy == "random":
+            picks = rng.choice(len(entries), size=max_votes, replace=False)
+            return [entries[int(i)] for i in sorted(picks)]
+        if policy != "recency_random":
+            raise ValueError(f"unknown exchange policy {policy!r}")
+        recent_budget = max_votes // 2
+        recent = entries[:recent_budget]
+        rest = entries[recent_budget:]
+        random_budget = max_votes - recent_budget
+        picks = rng.choice(len(rest), size=random_budget, replace=False)
+        return recent + [rest[int(i)] for i in sorted(picks)]
+
+    def __len__(self) -> int:
+        return len(self._votes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LocalVoteList(votes={len(self._votes)})"

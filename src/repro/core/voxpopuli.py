@@ -1,0 +1,51 @@
+"""VoxPopuli support structures (§V-C).
+
+The protocol logic lives in :class:`~repro.core.node.VoteSamplingNode`
+(request/respond) — this module provides the bounded cache of received
+top-K lists and its merge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Sequence
+
+from repro.core.ranking import Ranking, merge_rank_lists
+
+
+class TopKCache:
+    """The last ``v_max`` top-K lists received via VoxPopuli."""
+
+    def __init__(self, v_max: int = 10, k: int = 3):
+        if v_max < 1:
+            raise ValueError("v_max must be >= 1")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.v_max = v_max
+        self.k = k
+        self._lists: Deque[List[str]] = deque(maxlen=v_max)
+
+    def add(self, top_k_list: Sequence[str]) -> None:
+        """Cache one received list (truncated to K; empty ignored)."""
+        trimmed = list(top_k_list)[: self.k]
+        if trimmed:
+            self._lists.append(trimmed)
+
+    def merged_ranking(self) -> Ranking:
+        """Rank-average merge of every cached list."""
+        return merge_rank_lists(list(self._lists), self.k)
+
+    def known_moderators(self) -> List[str]:
+        out = set()
+        for lst in self._lists:
+            out.update(lst)
+        return sorted(out)
+
+    def clear(self) -> None:
+        self._lists.clear()
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def __bool__(self) -> bool:
+        return len(self._lists) > 0

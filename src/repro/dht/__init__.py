@@ -1,0 +1,19 @@
+"""Chord-style DHT substrate (§II's rejected storage design).
+
+"We could have stored metadata in a Distributed Hash Table but these
+require explicit leave and join operations which are costly in systems
+with high churn … Additionally, search performance is considerably
+enhanced if metadata is stored locally because it is not necessary to
+perform multi-hop look-ups."
+
+:mod:`repro.dht.chord` implements enough of Chord [Stoica et al. 2001]
+to measure both costs on the paper's own traces: ring membership,
+finger tables, greedy multi-hop lookups with hop counting, and a
+maintenance-message model for join/leave/stabilisation under churn.
+The bench ``benchmarks/test_design_dht_vs_gossip.py`` quantifies the
+§II argument.
+"""
+
+from repro.dht.chord import ChordConfig, ChordRing
+
+__all__ = ["ChordConfig", "ChordRing"]

@@ -1,0 +1,40 @@
+"""Experiment drivers — one per results figure of the paper.
+
+* :mod:`repro.experiments.experience_formation` — **Fig 5**: CEV time
+  series for several experience thresholds ``T``;
+* :mod:`repro.experiments.vote_sampling` — **Fig 6**: fraction of nodes
+  holding the correct moderator ordering M1 > M2 > M3 over time;
+* :mod:`repro.experiments.spam_attack` — **Fig 8**: pollution of newly
+  arrived nodes under flash-crowd attacks of 1× / 2× core size;
+* :mod:`repro.experiments.ablations` — design-choice ablations (§VII
+  adaptive T, exchange policies, PSS variants, parameter sweeps).
+
+Run from the command line::
+
+    python -m repro.experiments fig5
+    python -m repro.experiments fig6 --quick
+    python -m repro.experiments fig8
+"""
+
+from repro.experiments.common import ExperimentResult, SimulationStack, ascii_chart
+from repro.experiments.experience_formation import (
+    ExperienceFormationConfig,
+    ExperienceFormationExperiment,
+)
+from repro.experiments.spam_attack import SpamAttackConfig, SpamAttackExperiment
+from repro.experiments.vote_sampling import (
+    VoteSamplingConfig,
+    VoteSamplingExperiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "SimulationStack",
+    "ascii_chart",
+    "ExperienceFormationConfig",
+    "ExperienceFormationExperiment",
+    "VoteSamplingConfig",
+    "VoteSamplingExperiment",
+    "SpamAttackConfig",
+    "SpamAttackExperiment",
+]

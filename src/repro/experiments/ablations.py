@@ -1,0 +1,232 @@
+"""Design-choice ablations.
+
+The paper motivates several design decisions without plotting them; the
+ablations here regenerate the evidence:
+
+* **A1 — adaptive T vs fixed T vs no defence** (§VII): re-run the Fig 8
+  attack with the dispersion-driven adaptive threshold and with the
+  experience gate removed entirely.
+* **A2 — vote-exchange policy** (§V-A): recency+random vs pure-recency
+  vs pure-random selection under the Fig 6 workload.
+* **A3 — PSS implementation** (§III): oracle sampling vs the Newscast
+  gossip PSS under the Fig 6 workload.
+* **A4 — parameter sweeps** (§V-C): ``B_min``, ``K``, ``V_max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.core.experience import AdaptiveThresholdExperience, AlwaysExperienced
+from repro.core.runtime import RuntimeConfig
+from repro.traces.generator import TraceGeneratorConfig
+from repro.experiments.common import ExperimentResult
+from repro.experiments.spam_attack import SpamAttackConfig, SpamAttackExperiment
+from repro.experiments.vote_sampling import VoteSamplingConfig, VoteSamplingExperiment
+from repro.sim.units import MB
+
+
+# ----------------------------------------------------------------------
+# A1 — experience-function variants under attack
+# ----------------------------------------------------------------------
+class _AdaptiveSpamExperiment(SpamAttackExperiment):
+    """Fig 8 with the adaptive threshold controller installed.
+
+    The controller needs the run's own BarterCast service, so it is
+    installed through the post-build hook.  Note the adaptive runtime
+    also schedules the per-node dispersion-update tick automatically
+    (the runtime checks ``isinstance(experience, Adaptive…)`` when
+    creating a node's processes), so installation must happen before
+    any node comes online — the hook runs at t=0, before trace replay.
+    """
+
+    def __init__(self, config: SpamAttackConfig, d_max: float = 0.5):
+        super().__init__(config)
+        self._d_max = d_max
+
+    def _install_experience(self, stack) -> None:
+        stack.runtime.experience = AdaptiveThresholdExperience(
+            stack.runtime.bartercast, d_max=self._d_max, step=1 * MB
+        )
+
+    def run(self, replica: Optional[int] = None) -> ExperimentResult:
+        result = super().run(replica)
+        result.name = result.name.replace("fig8", "ablation-a1-adaptive")
+        return result
+
+
+class _UndefendedSpamExperiment(SpamAttackExperiment):
+    """Fig 8 with E ≡ true — shows what the gate is worth."""
+
+    def _install_experience(self, stack) -> None:
+        stack.runtime.experience = AlwaysExperienced()
+
+    def run(self, replica: Optional[int] = None) -> ExperimentResult:
+        result = super().run(replica)
+        result.name = result.name.replace("fig8", "ablation-a1-undefended")
+        return result
+
+
+def ablation_adaptive_threshold(
+    base: Optional[SpamAttackConfig] = None,
+) -> Dict[str, ExperimentResult]:
+    """A1: fixed-T vs adaptive-T vs undefended under the same attack."""
+    base = base or SpamAttackConfig()
+    return {
+        "fixed": SpamAttackExperiment(base).run(),
+        "adaptive": _AdaptiveSpamExperiment(base).run(),
+        "undefended": _UndefendedSpamExperiment(base).run(),
+    }
+
+
+# ----------------------------------------------------------------------
+# A2 — exchange policies
+# ----------------------------------------------------------------------
+def ablation_exchange_policy(
+    base: Optional[VoteSamplingConfig] = None,
+) -> Dict[str, ExperimentResult]:
+    """A2: vote-selection policy comparison on the Fig 6 workload."""
+    base = base or VoteSamplingConfig()
+    out: Dict[str, ExperimentResult] = {}
+    for policy in ("recency_random", "recency", "random"):
+        node = replace(base.node, exchange_policy=policy)
+        cfg = replace(base, node=node)
+        result = VoteSamplingExperiment(cfg).run()
+        result.name = f"ablation-a2-{policy}"
+        out[policy] = result
+    return out
+
+
+# ----------------------------------------------------------------------
+# A3 — PSS implementations
+# ----------------------------------------------------------------------
+def ablation_pss(
+    base: Optional[VoteSamplingConfig] = None,
+) -> Dict[str, ExperimentResult]:
+    """A3: oracle PSS vs Newscast gossip PSS on the Fig 6 workload."""
+    base = base or VoteSamplingConfig()
+    out: Dict[str, ExperimentResult] = {}
+    for label, use_newscast in (("oracle", False), ("newscast", True)):
+        runtime = RuntimeConfig(
+            node=base.node,
+            experience_threshold=base.experience_threshold,
+            use_newscast=use_newscast,
+        )
+        cfg = replace(base, runtime=runtime)
+        result = VoteSamplingExperiment(cfg).run()
+        result.name = f"ablation-a3-{label}"
+        out[label] = result
+    return out
+
+
+# ----------------------------------------------------------------------
+# A6 — VoxPopuli on/off
+# ----------------------------------------------------------------------
+def ablation_voxpopuli(
+    base: Optional[VoteSamplingConfig] = None,
+) -> Dict[str, ExperimentResult]:
+    """A6: what the bootstrap protocol buys (§V-C).
+
+    With VoxPopuli disabled, a node below ``B_min`` has no ranking at
+    all — correctness stays near zero until enough experienced votes
+    arrive, demonstrating the bootstrap's contribution to the Fig 6
+    knee.
+    """
+    base = base or VoteSamplingConfig()
+    out: Dict[str, ExperimentResult] = {}
+    for label, enabled in (("with_voxpopuli", True), ("without_voxpopuli", False)):
+        node = replace(base.node, voxpopuli_enabled=enabled)
+        result = VoteSamplingExperiment(replace(base, node=node)).run()
+        result.name = f"ablation-a6-{label}"
+        out[label] = result
+    return out
+
+
+# ----------------------------------------------------------------------
+# A7 — experience threshold T on the honest workload
+# ----------------------------------------------------------------------
+def ablation_experience_threshold(
+    base: Optional[VoteSamplingConfig] = None,
+    thresholds=(2 * MB, 5 * MB, 20 * MB),
+) -> Dict[str, ExperimentResult]:
+    """A7: the speed/security trade of T (§V-B, 'T could be adapted').
+
+    Higher T slows honest vote propagation (votes only flow once
+    senders cross the bar) — the flip side of the Fig 8 security
+    argument.
+    """
+    base = base or VoteSamplingConfig()
+    out: Dict[str, ExperimentResult] = {}
+    for t in thresholds:
+        result = VoteSamplingExperiment(
+            replace(base, experience_threshold=t)
+        ).run()
+        label = f"T={t / MB:g}MB"
+        result.name = f"ablation-a7-{label}"
+        out[label] = result
+    return out
+
+
+# ----------------------------------------------------------------------
+# A8 — churn resilience
+# ----------------------------------------------------------------------
+def ablation_churn(
+    base: Optional[VoteSamplingConfig] = None,
+    availabilities=(0.3, 0.5, 0.7),
+) -> Dict[str, ExperimentResult]:
+    """A8: gossip robustness to churn (§II cites the epidemic
+    literature; the traces' ≈50 % offline rate is the paper's ambient
+    condition).  Sweeps the population's mean availability by scaling
+    the Beta prior; correctness should degrade gracefully, not
+    collapse, as availability drops.
+    """
+    base = base or VoteSamplingConfig()
+    out: Dict[str, ExperimentResult] = {}
+    for avail in availabilities:
+        # Beta(2a, 2(1-a)) keeps spread while moving the mean to `avail`.
+        trace = TraceGeneratorConfig(
+            **{
+                **base.trace.__dict__,
+                "availability_beta": (4.0 * avail, 4.0 * (1.0 - avail)),
+            }
+        )
+        result = VoteSamplingExperiment(replace(base, trace=trace)).run()
+        label = f"availability={avail:.0%}"
+        result.name = f"ablation-a8-{label}"
+        out[label] = result
+    return out
+
+
+# ----------------------------------------------------------------------
+# A4 — parameter sweeps
+# ----------------------------------------------------------------------
+def ablation_parameter_sweep(
+    base: Optional[VoteSamplingConfig] = None,
+    b_mins=(2, 5, 10),
+    ks=(1, 3, 5),
+    v_maxes=(3, 10, 25),
+) -> Dict[str, ExperimentResult]:
+    """A4: B_min / K / V_max sweeps on the Fig 6 workload.
+
+    One parameter varies at a time; all results keyed
+    ``"<param>=<value>"``.
+    """
+    base = base or VoteSamplingConfig()
+    out: Dict[str, ExperimentResult] = {}
+    for b_min in b_mins:
+        node = replace(base.node, b_min=b_min)
+        result = VoteSamplingExperiment(replace(base, node=node)).run()
+        result.name = f"ablation-a4-bmin{b_min}"
+        out[f"b_min={b_min}"] = result
+    for k in ks:
+        node = replace(base.node, k=k)
+        result = VoteSamplingExperiment(replace(base, node=node)).run()
+        result.name = f"ablation-a4-k{k}"
+        out[f"k={k}"] = result
+    for v_max in v_maxes:
+        node = replace(base.node, v_max=v_max)
+        result = VoteSamplingExperiment(replace(base, node=node)).run()
+        result.name = f"ablation-a4-vmax{v_max}"
+        out[f"v_max={v_max}"] = result
+    return out

@@ -1,0 +1,150 @@
+"""Shared experiment plumbing.
+
+:class:`SimulationStack` assembles the full system (trace → engine →
+BitTorrent session → protocol runtime → recorder) from one config;
+:class:`ExperimentResult` carries named time series plus metadata; and
+:func:`ascii_chart` renders series in the terminal so every figure can
+be eyeballed without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.bittorrent.session import BitTorrentSession, SessionConfig
+from repro.core.experience import ExperienceFunction
+from repro.core.runtime import ProtocolRuntime, RuntimeConfig
+from repro.metrics.timeseries import TimeSeries, TimeSeriesRecorder
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.traces.model import Trace
+
+
+@dataclass
+class SimulationStack:
+    """The fully wired system for one run."""
+
+    engine: Engine
+    session: BitTorrentSession
+    runtime: ProtocolRuntime
+    recorder: TimeSeriesRecorder
+    trace: Trace
+
+    @classmethod
+    def build(
+        cls,
+        trace: Trace,
+        seed: int,
+        runtime_config: Optional[RuntimeConfig] = None,
+        session_config: Optional[SessionConfig] = None,
+        experience: Optional[ExperienceFunction] = None,
+        sample_interval: float = 3600.0,
+    ) -> "SimulationStack":
+        engine = Engine()
+        rng = RngRegistry(seed)
+        session = BitTorrentSession(
+            engine,
+            trace,
+            rng,
+            config=session_config or SessionConfig(round_interval=60.0),
+        )
+        runtime = ProtocolRuntime(
+            session, rng, config=runtime_config, experience=experience
+        )
+        recorder = TimeSeriesRecorder(engine, interval=sample_interval)
+        return cls(engine, session, runtime, recorder, trace)
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.recorder.start()
+        self.session.start()
+        self.engine.run_until(until if until is not None else self.trace.duration)
+
+
+@dataclass
+class ExperimentResult:
+    """Named series plus free-form metadata from one experiment."""
+
+    name: str
+    series: Dict[str, TimeSeries] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def get(self, key: str) -> TimeSeries:
+        return self.series[key]
+
+    def keys(self) -> List[str]:
+        return sorted(self.series)
+
+    def summary_rows(self) -> List[str]:
+        """One line per series: name, final value, range."""
+        rows = []
+        for key in self.keys():
+            s = self.series[key]
+            if len(s) == 0:
+                rows.append(f"{key}: (empty)")
+                continue
+            rows.append(
+                f"{key}: final={s.final():.3f} "
+                f"min={s.values.min():.3f} max={s.values.max():.3f} "
+                f"samples={len(s)}"
+            )
+        return rows
+
+
+def average_series(runs: Sequence[TimeSeries]) -> TimeSeries:
+    """Pointwise average of equally-sampled series (the paper's
+    'average of 10 trace runs').  Series are aligned on the shortest."""
+    if not runs:
+        raise ValueError("no series to average")
+    n = min(len(s) for s in runs)
+    if n == 0:
+        raise ValueError("cannot average empty series")
+    out = TimeSeries("average")
+    times = runs[0].times[:n]
+    stacked = np.stack([s.values[:n] for s in runs])
+    means = stacked.mean(axis=0)
+    for t, v in zip(times, means):
+        out.append(float(t), float(v))
+    return out
+
+
+def ascii_chart(
+    series: Mapping[str, TimeSeries],
+    width: int = 72,
+    height: int = 16,
+    t_unit: float = 3600.0,
+    t_label: str = "hours",
+    y_min: float = 0.0,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render one or more series as an ASCII chart (time on x)."""
+    items = [(k, s) for k, s in series.items() if len(s) > 0]
+    if not items:
+        return "(no data)"
+    t_max = max(s.times.max() for _k, s in items)
+    v_max = y_max if y_max is not None else max(s.values.max() for _k, s in items)
+    if v_max <= y_min:
+        v_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox+*#@%&"
+    for mi, (_key, s) in enumerate(items):
+        mark = marks[mi % len(marks)]
+        for t, v in zip(s.times, s.values):
+            x = int((t / t_max) * (width - 1)) if t_max > 0 else 0
+            frac = (v - y_min) / (v_max - y_min)
+            y = height - 1 - int(np.clip(frac, 0.0, 1.0) * (height - 1))
+            grid[y][x] = mark
+    lines = []
+    for row_i, row in enumerate(grid):
+        frac = 1.0 - row_i / (height - 1)
+        label = y_min + frac * (v_max - y_min)
+        lines.append(f"{label:7.2f} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(
+        " " * 9
+        + f"0 … {t_max / t_unit:.1f} {t_label}   "
+        + "  ".join(f"{marks[i % len(marks)]}={k}" for i, (k, _s) in enumerate(items))
+    )
+    return "\n".join(lines)

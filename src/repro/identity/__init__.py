@@ -1,0 +1,21 @@
+"""Simulated PKI identity layer.
+
+Tribler binds every protocol message to a permanent, non-spoofable peer
+identity via public-key signatures.  Inside the simulator we reproduce
+the *guarantees* (identity binding, tamper evidence, unforgeability)
+without real asymmetric crypto: an :class:`IdentityAuthority` issues
+keypairs whose secret half never leaves it, signs with a keyed BLAKE2b
+MAC, and verifies by recomputation.  A malicious simulated node cannot
+forge a signature because it has no API that exposes another node's
+secret — the substitution is documented in ``DESIGN.md``.
+"""
+
+from repro.identity.authority import IdentityAuthority, PeerIdentity
+from repro.identity.signatures import SignatureError, SignedMessage
+
+__all__ = [
+    "IdentityAuthority",
+    "PeerIdentity",
+    "SignedMessage",
+    "SignatureError",
+]

@@ -1,0 +1,98 @@
+"""Identity issuance and the signing/verification oracle."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+_DIGEST_SIZE = 16
+
+
+@dataclass(frozen=True)
+class PeerIdentity:
+    """A peer's public identity.
+
+    ``public_key`` is what other peers see; the matching secret is held
+    only by the :class:`IdentityAuthority`, mirroring a private key that
+    never leaves the owning client.
+    """
+
+    peer_id: str
+    public_key: str
+
+    def __str__(self) -> str:
+        return f"{self.peer_id}<{self.public_key[:8]}>"
+
+
+@dataclass
+class IdentityAuthority:
+    """Issues identities and performs sign/verify.
+
+    This object *is* the simulated crypto substrate: honest nodes sign
+    through :meth:`sign`; any byte flipped in transit (or a signature
+    copied onto a different payload / different signer) fails
+    :meth:`verify`.  Creating identities is **cheap** by design — the
+    paper's whole point is that cheap identities must not translate
+    into voting power, which the experience function enforces.
+    """
+
+    seed: int = 0
+    _secrets: Dict[str, bytes] = field(default_factory=dict, repr=False)
+    _by_peer: Dict[str, PeerIdentity] = field(default_factory=dict)
+    _counter: int = 0
+
+    def create_identity(self, peer_id: str) -> PeerIdentity:
+        """Issue a fresh identity for ``peer_id``.
+
+        Re-issuing for an existing peer id raises: permanent identities
+        are the Tribler invariant our protocols rely on.  (A Sybil
+        attacker instead creates *many distinct* peer ids.)
+        """
+        if peer_id in self._by_peer:
+            raise ValueError(f"identity already issued for {peer_id!r}")
+        self._counter += 1
+        material = f"{self.seed}:{peer_id}:{self._counter}".encode()
+        secret = hashlib.blake2b(material, digest_size=32, person=b"repro-sk").digest()
+        public = hashlib.blake2b(secret, digest_size=16, person=b"repro-pk").hexdigest()
+        ident = PeerIdentity(peer_id=peer_id, public_key=public)
+        self._secrets[public] = secret
+        self._by_peer[peer_id] = ident
+        return ident
+
+    def identity_of(self, peer_id: str) -> Optional[PeerIdentity]:
+        """The identity issued for ``peer_id``, or ``None``."""
+        return self._by_peer.get(peer_id)
+
+    def known_public_keys(self) -> int:
+        """Number of identities issued so far."""
+        return len(self._secrets)
+
+    # ------------------------------------------------------------------
+    def sign(self, signer: PeerIdentity, payload: bytes) -> bytes:
+        """Sign ``payload`` on behalf of ``signer``.
+
+        Raises ``KeyError`` for identities this authority never issued —
+        a node cannot sign as somebody else.
+        """
+        secret = self._secrets[signer.public_key]
+        return hmac.new(secret, payload, digestmod=hashlib.sha256).digest()[:_DIGEST_SIZE]
+
+    def verify(self, public_key: str, payload: bytes, signature: bytes) -> bool:
+        """``True`` iff ``signature`` is valid for ``(public_key, payload)``."""
+        secret = self._secrets.get(public_key)
+        if secret is None:
+            return False
+        expected = hmac.new(secret, payload, digestmod=hashlib.sha256).digest()[:_DIGEST_SIZE]
+        return hmac.compare_digest(expected, signature)
+
+    # ------------------------------------------------------------------
+    def forge_signature(self, rng: Optional[np.random.Generator] = None) -> bytes:
+        """Produce a random (invalid) signature — used by attack models
+        to exercise the rejection path without guessing real secrets."""
+        if rng is not None:
+            return rng.bytes(_DIGEST_SIZE)
+        return b"\x00" * _DIGEST_SIZE

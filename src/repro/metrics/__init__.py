@@ -1,0 +1,25 @@
+"""Measurement instruments for the paper's figures.
+
+* :mod:`repro.metrics.cev` — the Collective Experience Value (Fig 5),
+  computed with global knowledge exactly as the paper does ("CEV plays
+  no part in the protocols running in the nodes");
+* :mod:`repro.metrics.ordering` — the Fig 6 correctness predicate
+  (fraction of nodes strictly ordering M1 > M2 > M3);
+* :mod:`repro.metrics.pollution` — the Fig 8 pollution fraction
+  (newly-arrived nodes ranking the spam moderator top);
+* :mod:`repro.metrics.timeseries` — engine-driven periodic samplers.
+"""
+
+from repro.metrics.cev import collective_experience_value, flow_matrix
+from repro.metrics.ordering import correct_order_fraction
+from repro.metrics.pollution import pollution_fraction
+from repro.metrics.timeseries import TimeSeries, TimeSeriesRecorder
+
+__all__ = [
+    "collective_experience_value",
+    "flow_matrix",
+    "correct_order_fraction",
+    "pollution_fraction",
+    "TimeSeries",
+    "TimeSeriesRecorder",
+]

@@ -1,0 +1,48 @@
+"""Fig 6 metric: fraction of nodes holding the correct moderator order.
+
+"The correct ordering is M1 > M2 > M3 based on votes."  A node counts
+as correct iff its *current ranking* (ballot box once ≥ B_min unique
+voters, VoxPopuli merge before that) ranks the three moderators with
+strictly decreasing scores — ties and unknown moderators do not count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.core.node import VoteSamplingNode
+from repro.core.ranking import strictly_ordered
+
+
+def correct_order_fraction(
+    nodes: Mapping[str, VoteSamplingNode],
+    order: Sequence[str],
+    include: Optional[Iterable[str]] = None,
+) -> float:
+    """Fraction of nodes whose current ranking strictly matches ``order``.
+
+    Parameters
+    ----------
+    nodes:
+        All protocol nodes (e.g. ``runtime.nodes``).
+    order:
+        The ground-truth moderator ordering, best first.
+    include:
+        Peer ids to evaluate over.  Defaults to every node except the
+        moderators themselves (a moderator never ranks itself).
+    """
+    moderators = set(order)
+    if include is None:
+        eval_ids = [pid for pid in nodes if pid not in moderators]
+    else:
+        eval_ids = [pid for pid in include if pid not in moderators]
+    if not eval_ids:
+        return 0.0
+    correct = 0
+    for pid in eval_ids:
+        node = nodes.get(pid)
+        if node is None:
+            continue
+        if strictly_ordered(node.current_ranking(), order):
+            correct += 1
+    return correct / len(eval_ids)

@@ -1,0 +1,41 @@
+"""Fig 8 metric: pollution of newly arrived nodes by a spam moderator.
+
+A node is *polluted* when the spam moderator is strictly at the top of
+its current ranking — the spam metadata would be what the user sees
+first.  Nodes with no ranking information yet are unpolluted (they see
+nothing at all, which is not a spam win).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.node import VoteSamplingNode
+
+
+def is_polluted(node: VoteSamplingNode, spam_id: str) -> bool:
+    """``True`` iff ``spam_id`` is the strict top of the node's ranking."""
+    ranking = node.current_ranking()
+    if not ranking or ranking[0][0] != spam_id:
+        return False
+    if len(ranking) == 1:
+        return True
+    # strict: no tie with the runner-up
+    return ranking[0][1] > ranking[1][1]
+
+
+def pollution_fraction(
+    nodes: Mapping[str, VoteSamplingNode],
+    spam_id: str,
+    include: Iterable[str],
+) -> float:
+    """Fraction of ``include`` nodes currently polluted by ``spam_id``."""
+    eval_ids = list(include)
+    if not eval_ids:
+        return 0.0
+    polluted = 0
+    for pid in eval_ids:
+        node = nodes.get(pid)
+        if node is not None and is_polluted(node, spam_id):
+            polluted += 1
+    return polluted / len(eval_ids)

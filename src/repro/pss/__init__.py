@@ -1,0 +1,25 @@
+"""Peer sampling service (PSS).
+
+Section III of the paper assumes "each peer has access to a peer
+sampling service which periodically returns a random peer from the
+entire population of online peers", implemented in Tribler by the
+Newscast variant BuddyCast.  Two implementations are provided:
+
+* :class:`~repro.pss.ideal.OraclePSS` — exactly the paper's
+  assumption: a uniform sample over currently-online peers;
+* :class:`~repro.pss.newscast.NewscastService` — a real gossip PSS
+  (bounded partial views, freshest-c merge, self-healing under churn),
+  used by the A3 ablation to show results do not depend on the oracle.
+"""
+
+from repro.pss.base import OnlineRegistry, PeerSamplingService
+from repro.pss.ideal import OraclePSS
+from repro.pss.newscast import NewscastConfig, NewscastService
+
+__all__ = [
+    "OnlineRegistry",
+    "PeerSamplingService",
+    "OraclePSS",
+    "NewscastConfig",
+    "NewscastService",
+]

@@ -1,0 +1,42 @@
+"""Oracle PSS — the paper's idealised sampling assumption."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.pss.base import OnlineRegistry, PeerSamplingService
+
+
+class OraclePSS(PeerSamplingService):
+    """Uniform random peer from the set of currently online peers.
+
+    This is exactly the service §III assumes ("periodically returns a
+    random peer from the entire population of online peers").  Draws
+    are O(1) against the registry's swap-remove list.
+    """
+
+    def __init__(self, registry: OnlineRegistry, rng: np.random.Generator):
+        self._registry = registry
+        self._rng = rng
+
+    def sample(self, requester: str) -> Optional[str]:
+        n = self._registry.online_count()
+        if n == 0 or (n == 1 and self._registry.is_online(requester)):
+            return None
+        # Rejection-sample the requester out: at most a couple of
+        # retries in expectation even for tiny populations.
+        for _ in range(64):
+            peer = self._registry.peer_at(int(self._rng.integers(0, n)))
+            if peer != requester:
+                return peer
+        return None
+
+    def sample_many(self, requester: str, k: int) -> List[str]:
+        online = [p for p in self._registry.online_peers() if p != requester]
+        if not online:
+            return []
+        k = min(k, len(online))
+        picks = self._rng.choice(len(online), size=k, replace=False)
+        return [online[int(i)] for i in picks]

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel.
+
+A single :class:`~repro.sim.engine.Engine` owns simulated time and a
+heap-ordered event queue.  All protocol layers in this repository are
+plain state machines scheduled onto one engine, which keeps them unit
+testable in isolation and makes every run deterministic: randomness is
+only available through :class:`~repro.sim.rng.RngRegistry` named
+streams derived from a single root seed.
+"""
+
+from repro.sim.engine import Engine, EventHandle, SimulationError
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RngRegistry
+from repro.sim.units import DAY, GIB, HOUR, KIB, MB, MIB, MINUTE, SECOND
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "SimulationError",
+    "PeriodicProcess",
+    "RngRegistry",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "KIB",
+    "MIB",
+    "GIB",
+    "MB",
+]

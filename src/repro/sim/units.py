@@ -1,0 +1,27 @@
+"""Time and size units used across the simulator.
+
+Simulated time is a float number of **seconds**; data sizes are floats
+in **bytes**.  The paper quotes thresholds in MB (decimal megabytes,
+e.g. the experience threshold ``T = 5 MB``) and BitTorrent piece sizes
+in KiB/MiB (binary), so both families are provided.
+"""
+
+#: One simulated second (the base time unit).
+SECOND = 1.0
+#: Sixty seconds.
+MINUTE = 60.0 * SECOND
+#: Sixty minutes.
+HOUR = 60.0 * MINUTE
+#: Twenty-four hours.
+DAY = 24.0 * HOUR
+
+#: Binary kilobyte (1024 bytes) — BitTorrent piece sizes.
+KIB = 1024.0
+#: Binary megabyte.
+MIB = 1024.0 * KIB
+#: Binary gigabyte.
+GIB = 1024.0 * MIB
+#: Decimal megabyte (1e6 bytes) — the unit of the paper's ``T`` threshold.
+MB = 1_000_000.0
+
+__all__ = ["SECOND", "MINUTE", "HOUR", "DAY", "KIB", "MIB", "GIB", "MB"]

@@ -1,0 +1,44 @@
+"""BitTorrent churn traces.
+
+The paper evaluates on 10 traces from the private tracker filelist.org
+(7 days, 100 unique peers, ≈23,000 events each; ≈50 % of peers offline
+at any moment; ≈25 % of peers upload little).  The original dataset
+(``tom-data.zip``) is no longer retrievable, so this package provides:
+
+* :mod:`repro.traces.model` — the trace data model (peers, swarms,
+  sessions, events);
+* :mod:`repro.traces.generator` — a synthetic generator calibrated to
+  every statistic the paper reports about the real traces;
+* :mod:`repro.traces.loader` — a JSONL on-disk format with round-trip
+  read/write;
+* :mod:`repro.traces.stats` — churn / availability / event-count
+  statistics used to validate calibration.
+"""
+
+from repro.traces.generator import TraceGenerator, TraceGeneratorConfig, generate_dataset
+from repro.traces.loader import load_trace, save_trace
+from repro.traces.model import (
+    EventKind,
+    PeerProfile,
+    Session,
+    SwarmSpec,
+    Trace,
+    TraceEvent,
+)
+from repro.traces.stats import TraceStats, compute_stats
+
+__all__ = [
+    "EventKind",
+    "PeerProfile",
+    "Session",
+    "SwarmSpec",
+    "Trace",
+    "TraceEvent",
+    "TraceGenerator",
+    "TraceGeneratorConfig",
+    "generate_dataset",
+    "load_trace",
+    "save_trace",
+    "TraceStats",
+    "compute_stats",
+]

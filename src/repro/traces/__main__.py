@@ -1,0 +1,65 @@
+"""Command-line trace tooling.
+
+Usage::
+
+    python -m repro.traces generate --out traces/ --n 10 [--seed 42]
+    python -m repro.traces stats trace.jsonl [more.jsonl ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.traces.generator import TraceGeneratorConfig, generate_dataset
+from repro.traces.loader import load_trace, save_trace
+from repro.traces.stats import compute_stats
+
+
+def cmd_generate(args) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    cfg = TraceGeneratorConfig(
+        n_peers=args.peers,
+        n_swarms=args.swarms,
+        duration=args.days * 86400.0,
+    )
+    dataset = generate_dataset(n_traces=args.n, config=cfg, seed=args.seed)
+    for trace in dataset:
+        path = out / f"{trace.name}.jsonl"
+        save_trace(trace, path)
+        print(f"wrote {path} ({len(trace)} events)")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    for path in args.traces:
+        trace = load_trace(path)
+        print(f"{path}: {compute_stats(trace)}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.traces")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic trace dataset")
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument("--n", type=int, default=10, help="number of traces")
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--peers", type=int, default=100)
+    gen.add_argument("--swarms", type=int, default=12)
+    gen.add_argument("--days", type=float, default=7.0)
+    gen.set_defaults(func=cmd_generate)
+
+    stats = sub.add_parser("stats", help="print statistics of trace files")
+    stats.add_argument("traces", nargs="+")
+    stats.set_defaults(func=cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

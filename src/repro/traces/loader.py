@@ -1,0 +1,128 @@
+"""On-disk trace format (JSON Lines).
+
+One header object followed by one object per event::
+
+    {"type": "header", "name": ..., "duration": ..., "peers": [...], "swarms": [...]}
+    {"type": "event", "t": 0.0, "peer": "peer000", "kind": "session_start"}
+    ...
+
+The format is line-oriented so multi-hundred-thousand-event traces can
+be streamed without loading everything through a JSON parser at once.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.traces.model import (
+    EventKind,
+    PeerProfile,
+    SwarmSpec,
+    Trace,
+    TraceEvent,
+)
+
+PathLike = Union[str, Path]
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: PathLike) -> None:
+    """Write ``trace`` to ``path`` in the JSONL trace format."""
+    p = Path(path)
+    header = {
+        "type": "header",
+        "version": FORMAT_VERSION,
+        "name": trace.name,
+        "duration": trace.duration,
+        "peers": [
+            {
+                "peer_id": pr.peer_id,
+                "connectable": pr.connectable,
+                "free_rider": pr.free_rider,
+                "upload_capacity": pr.upload_capacity,
+                "download_capacity": pr.download_capacity,
+            }
+            for pr in trace.peers.values()
+        ],
+        "swarms": [
+            {
+                "swarm_id": sw.swarm_id,
+                "file_size": sw.file_size,
+                "piece_size": sw.piece_size,
+                "initial_seeder": sw.initial_seeder,
+            }
+            for sw in trace.swarms.values()
+        ],
+    }
+    with p.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for ev in trace.events:
+            rec = {
+                "type": "event",
+                "t": ev.time,
+                "peer": ev.peer_id,
+                "kind": ev.kind.value,
+            }
+            if ev.swarm_id is not None:
+                rec["swarm"] = ev.swarm_id
+            fh.write(json.dumps(rec) + "\n")
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read a trace written by :func:`save_trace` and validate it."""
+    p = Path(path)
+    peers: Dict[str, PeerProfile] = {}
+    swarms: Dict[str, SwarmSpec] = {}
+    events: List[TraceEvent] = []
+    duration = 0.0
+    name = p.stem
+    with p.open("r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first:
+            raise ValueError(f"{p}: empty trace file")
+        header = json.loads(first)
+        if header.get("type") != "header":
+            raise ValueError(f"{p}: first line must be the header object")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{p}: unsupported trace version {header.get('version')!r}"
+            )
+        duration = float(header["duration"])
+        name = header.get("name", name)
+        for rec in header["peers"]:
+            pr = PeerProfile(
+                peer_id=rec["peer_id"],
+                connectable=bool(rec["connectable"]),
+                free_rider=bool(rec["free_rider"]),
+                upload_capacity=float(rec["upload_capacity"]),
+                download_capacity=float(rec["download_capacity"]),
+            )
+            peers[pr.peer_id] = pr
+        for rec in header["swarms"]:
+            sw = SwarmSpec(
+                swarm_id=rec["swarm_id"],
+                file_size=float(rec["file_size"]),
+                piece_size=float(rec["piece_size"]),
+                initial_seeder=rec.get("initial_seeder"),
+            )
+            swarms[sw.swarm_id] = sw
+        for line_no, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("type") != "event":
+                raise ValueError(f"{p}:{line_no}: expected event record")
+            events.append(
+                TraceEvent(
+                    time=float(rec["t"]),
+                    peer_id=rec["peer"],
+                    kind=EventKind(rec["kind"]),
+                    swarm_id=rec.get("swarm"),
+                )
+            )
+    trace = Trace(duration=duration, peers=peers, swarms=swarms, events=events, name=name)
+    trace.validate()
+    return trace

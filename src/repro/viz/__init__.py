@@ -1,0 +1,10 @@
+"""Dependency-free visualisation.
+
+:mod:`repro.viz.svg` writes line charts as standalone SVG files using
+only the standard library — enough to publish the reproduced figures
+without pulling a plotting stack into the runtime dependencies.
+"""
+
+from repro.viz.svg import LineChart, render_series
+
+__all__ = ["LineChart", "render_series"]

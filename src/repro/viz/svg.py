@@ -1,0 +1,181 @@
+"""Minimal SVG line charts (no third-party dependencies).
+
+Designed for the reproduction figures: multiple named series over
+simulated time, a y range of [0, 1]-ish metrics, axis ticks, and a
+legend.  Output is a standalone ``.svg`` readable by any browser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.metrics.timeseries import TimeSeries
+
+PathLike = Union[str, Path]
+
+_PALETTE = [
+    "#1f77b4",
+    "#d62728",
+    "#2ca02c",
+    "#9467bd",
+    "#ff7f0e",
+    "#8c564b",
+    "#17becf",
+    "#7f7f7f",
+]
+
+
+@dataclass
+class LineChart:
+    """A multi-series line chart."""
+
+    title: str
+    x_label: str = "hours"
+    y_label: str = ""
+    width: int = 720
+    height: int = 420
+    margin: int = 60
+    y_min: float = 0.0
+    y_max: Optional[float] = None
+    #: divide x values by this before plotting (seconds → hours).
+    x_scale: float = 3600.0
+    _series: List[Tuple[str, Sequence[float], Sequence[float]]] = field(
+        default_factory=list
+    )
+
+    # ------------------------------------------------------------------
+    def add(self, name: str, xs: Sequence[float], ys: Sequence[float]) -> None:
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        if len(xs) == 0:
+            return
+        self._series.append((name, list(xs), list(ys)))
+
+    def add_timeseries(self, name: str, series: TimeSeries) -> None:
+        self.add(name, list(series.times), list(series.values))
+
+    # ------------------------------------------------------------------
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [x / self.x_scale for _n, xv, _y in self._series for x in xv]
+        ys = [y for _n, _x, yv in self._series for y in yv]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo = self.y_min
+        y_hi = self.y_max if self.y_max is not None else max(max(ys), y_lo + 1e-9)
+        if x_hi <= x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi <= y_lo:
+            y_hi = y_lo + 1.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    def _project(self, x, y, bounds):
+        x_lo, x_hi, y_lo, y_hi = bounds
+        m = self.margin
+        px = m + (x - x_lo) / (x_hi - x_lo) * (self.width - 2 * m)
+        py = self.height - m - (y - y_lo) / (y_hi - y_lo) * (self.height - 2 * m)
+        return px, py
+
+    @staticmethod
+    def _fmt(v: float) -> str:
+        return f"{v:g}"
+
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        if not self._series:
+            raise ValueError("no series added")
+        bounds = self._bounds()
+        x_lo, x_hi, y_lo, y_hi = bounds
+        m = self.margin
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="24" text-anchor="middle" '
+            f'font-size="16" font-family="sans-serif">{self.title}</text>',
+        ]
+        # axes
+        parts.append(
+            f'<line x1="{m}" y1="{self.height - m}" x2="{self.width - m}" '
+            f'y2="{self.height - m}" stroke="black"/>'
+        )
+        parts.append(
+            f'<line x1="{m}" y1="{m}" x2="{m}" y2="{self.height - m}" stroke="black"/>'
+        )
+        # ticks (5 per axis)
+        for i in range(6):
+            fx = x_lo + (x_hi - x_lo) * i / 5
+            px, _ = self._project(fx, y_lo, bounds)
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{self.height - m}" x2="{px:.1f}" '
+                f'y2="{self.height - m + 5}" stroke="black"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{self.height - m + 20}" text-anchor="middle" '
+                f'font-size="11" font-family="sans-serif">{self._fmt(fx)}</text>'
+            )
+            fy = y_lo + (y_hi - y_lo) * i / 5
+            _, py = self._project(x_lo, fy, bounds)
+            parts.append(
+                f'<line x1="{m - 5}" y1="{py:.1f}" x2="{m}" y2="{py:.1f}" '
+                f'stroke="black"/>'
+            )
+            parts.append(
+                f'<text x="{m - 8}" y="{py + 4:.1f}" text-anchor="end" '
+                f'font-size="11" font-family="sans-serif">{self._fmt(fy)}</text>'
+            )
+        # axis labels
+        parts.append(
+            f'<text x="{self.width / 2}" y="{self.height - 12}" text-anchor="middle" '
+            f'font-size="12" font-family="sans-serif">{self.x_label}</text>'
+        )
+        if self.y_label:
+            parts.append(
+                f'<text x="16" y="{self.height / 2}" text-anchor="middle" '
+                f'font-size="12" font-family="sans-serif" '
+                f'transform="rotate(-90 16 {self.height / 2})">{self.y_label}</text>'
+            )
+        # series
+        for idx, (name, xs, ys) in enumerate(self._series):
+            color = _PALETTE[idx % len(_PALETTE)]
+            pts = " ".join(
+                "{:.1f},{:.1f}".format(*self._project(x / self.x_scale, y, bounds))
+                for x, y in zip(xs, ys)
+            )
+            parts.append(
+                f'<polyline points="{pts}" fill="none" stroke="{color}" '
+                f'stroke-width="1.8"/>'
+            )
+            # legend entry
+            ly = m + 16 * idx
+            lx = self.width - m - 150
+            parts.append(
+                f'<line x1="{lx}" y1="{ly}" x2="{lx + 22}" y2="{ly}" '
+                f'stroke="{color}" stroke-width="2"/>'
+            )
+            parts.append(
+                f'<text x="{lx + 28}" y="{ly + 4}" font-size="11" '
+                f'font-family="sans-serif">{name}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: PathLike) -> Path:
+        p = Path(path)
+        p.write_text(self.to_svg(), encoding="utf-8")
+        return p
+
+
+def render_series(
+    series: Mapping[str, TimeSeries],
+    title: str,
+    path: PathLike,
+    y_label: str = "",
+    y_max: Optional[float] = 1.0,
+) -> Path:
+    """Convenience: chart a dict of time series and save it."""
+    chart = LineChart(title=title, y_label=y_label, y_max=y_max)
+    for name in sorted(series):
+        if len(series[name]) > 0:
+            chart.add_timeseries(name, series[name])
+    return chart.save(path)

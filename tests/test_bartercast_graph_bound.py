@@ -1,0 +1,71 @@
+"""Tests for the bounded subjective graph (deployed-BarterCast memory cap)."""
+
+import numpy as np
+import pytest
+
+from repro.bartercast.graph import SubjectiveGraph
+from repro.bartercast.protocol import BarterCastConfig, BarterCastService
+from repro.pss.base import OnlineRegistry
+from repro.pss.ideal import OraclePSS
+from repro.sim.units import MB
+
+
+def test_unbounded_by_default():
+    g = SubjectiveGraph("me")
+    for i in range(100):
+        g.observe_direct(f"a{i}", f"b{i}", 1.0)
+    assert len(g.nodes()) == 200
+    assert g.evicted == 0
+
+
+def test_negative_bound_rejected():
+    with pytest.raises(ValueError):
+        SubjectiveGraph("me", max_nodes=-1)
+
+
+def test_bound_enforced():
+    g = SubjectiveGraph("me", max_nodes=10)
+    for i in range(30):
+        g.observe_direct(f"u{i}", f"v{i}", float(i + 1))
+    assert len(g.nodes()) <= 10
+    assert g.evicted > 0
+
+
+def test_owner_neighbourhood_protected():
+    """Edges touching the owner (and its direct partners) survive
+    eviction — they carry all the flow that reaches the owner."""
+    g = SubjectiveGraph("me", max_nodes=6)
+    g.observe_direct("friend", "me", 100 * MB)
+    g.observe_direct("me", "friend", 10 * MB)
+    for i in range(20):
+        g.observe_direct(f"x{i}", f"y{i}", 1.0)  # weak strangers
+    assert g.weight("friend", "me") == 100 * MB
+    assert "friend" in g.nodes()
+    assert "me" in g.nodes()
+
+
+def test_weakest_stranger_evicted_first():
+    g = SubjectiveGraph("me", max_nodes=4)
+    g.observe_direct("strong1", "strong2", 100 * MB)
+    g.observe_direct("weak1", "weak2", 1.0)
+    g.observe_direct("mid1", "mid2", 1 * MB)
+    nodes = g.nodes()
+    assert "strong1" in nodes and "strong2" in nodes
+    assert "weak1" not in nodes or "weak2" not in nodes
+
+
+def test_bounded_service_contribution_still_works():
+    reg = OnlineRegistry()
+    for p in ("a", "b", "c"):
+        reg.set_online(p)
+    svc = BarterCastService(
+        OraclePSS(reg, np.random.default_rng(0)),
+        BarterCastConfig(max_graph_nodes=16),
+    )
+    svc.local_transfer("b", "a", 7 * MB, now=0.0)
+    assert svc.contribution("a", "b") == 7 * MB
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BarterCastConfig(max_graph_nodes=-5)

@@ -1,0 +1,114 @@
+"""Unit tests for the Credence baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.credence import CredenceConfig, CredenceNode, CredenceSimulation
+
+
+class TestNode:
+    def test_vote_validation(self):
+        node = CredenceNode("a")
+        with pytest.raises(ValueError):
+            node.vote("obj", 0)
+
+    def test_self_history_ignored(self):
+        node = CredenceNode("a")
+        node.receive_history("a", {"o": 1})
+        assert node.received == {}
+
+    def test_correlation_requires_overlap(self):
+        node = CredenceNode("a", CredenceConfig(min_overlap=2))
+        node.vote("o1", 1)
+        node.receive_history("b", {"o1": 1})
+        assert node.correlation("b") is None  # only 1 common object
+        node.vote("o2", 1)
+        node.receive_history("b", {"o2": 1})
+        assert node.correlation("b") == pytest.approx(1.0)
+
+    def test_correlation_detects_disagreement(self):
+        node = CredenceNode("a")
+        node.vote("o1", 1)
+        node.vote("o2", -1)
+        node.receive_history("b", {"o1": -1, "o2": 1})
+        assert node.correlation("b") == pytest.approx(-1.0)
+
+    def test_mixed_correlation(self):
+        node = CredenceNode("a")
+        node.vote("o1", 1)
+        node.vote("o2", 1)
+        node.vote("o3", -1)
+        node.vote("o4", -1)
+        node.receive_history("b", {"o1": 1, "o2": -1, "o3": -1, "o4": 1})
+        theta = node.correlation("b")
+        assert theta is not None and -0.5 < theta < 0.5
+
+    def test_non_voter_is_isolated(self):
+        node = CredenceNode("a")
+        node.receive_history("b", {"o1": 1, "o2": 1})
+        assert node.is_isolated()
+        assert node.object_reputation("o1") is None
+
+    def test_voter_with_correlated_peer_not_isolated(self):
+        node = CredenceNode("a")
+        node.vote("o1", 1)
+        node.vote("o2", -1)
+        node.receive_history("b", {"o1": 1, "o2": -1, "o3": 1})
+        assert not node.is_isolated()
+        # b's vote on o3 now counts with weight θ=1
+        assert node.object_reputation("o3") == pytest.approx(1.0)
+
+    def test_anticorrelated_peer_votes_inverted(self):
+        """Negative θ flips the meaning of the peer's votes — the
+        Credence trick of learning from consistent liars."""
+        node = CredenceNode("a")
+        node.vote("o1", 1)
+        node.vote("o2", -1)
+        node.receive_history("liar", {"o1": -1, "o2": 1, "o3": 1})
+        rep = node.object_reputation("o3")
+        assert rep is not None and rep < 0  # liar's +1 reads as bad
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CredenceConfig(min_overlap=0)
+        with pytest.raises(ValueError):
+            CredenceConfig(theta_min=2.0)
+
+
+class TestSimulation:
+    def test_voters_and_votes_assigned(self):
+        sim = CredenceSimulation(
+            n_peers=50, voter_fraction=0.2, rng=np.random.default_rng(0)
+        )
+        assert len(sim.voters) == 10
+        for pid in sim.voters:
+            assert sim.nodes[pid].own_votes
+
+    def test_non_voters_isolated_even_with_full_gossip(self):
+        sim = CredenceSimulation(
+            n_peers=40, voter_fraction=0.25, rng=np.random.default_rng(1)
+        )
+        sim.gossip_all()
+        non_voters = [p for p in sim.nodes if p not in sim.voters]
+        assert all(sim.nodes[p].is_isolated() for p in non_voters)
+
+    def test_isolated_fraction_tracks_voter_fraction(self):
+        rng = np.random.default_rng(2)
+        sim_low = CredenceSimulation(n_peers=60, voter_fraction=0.1, rng=rng)
+        sim_low.gossip_all()
+        sim_high = CredenceSimulation(n_peers=60, voter_fraction=0.8, rng=rng)
+        sim_high.gossip_all()
+        assert sim_low.isolated_fraction() > sim_high.isolated_fraction()
+
+    def test_honest_voters_classify_correctly(self):
+        sim = CredenceSimulation(
+            n_peers=30, voter_fraction=0.5, rng=np.random.default_rng(3)
+        )
+        sim.gossip_all()
+        assert sim.correct_classification_fraction() >= 0.4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CredenceSimulation(10, 1.5, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            CredenceSimulation(10, 0.5, np.random.default_rng(0), malicious_fraction=-1)

@@ -1,0 +1,90 @@
+"""Tests for Bitfield."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bittorrent.bitfield import Bitfield
+
+
+def test_starts_empty():
+    bf = Bitfield(10)
+    assert bf.count == 0
+    assert bf.empty
+    assert not bf.complete
+
+
+def test_full_constructor():
+    bf = Bitfield(5, full=True)
+    assert bf.count == 5
+    assert bf.complete
+
+
+def test_set_returns_newness():
+    bf = Bitfield(4)
+    assert bf.set(2) is True
+    assert bf.set(2) is False
+    assert bf.count == 1
+    assert bf.has(2)
+
+
+def test_fill():
+    bf = Bitfield(4)
+    bf.fill()
+    assert bf.complete
+
+
+def test_rejects_zero_pieces():
+    with pytest.raises(ValueError):
+        Bitfield(0)
+
+
+def test_interesting_mask():
+    a = Bitfield.from_indices(5, [0, 1])
+    b = Bitfield.from_indices(5, [1, 2, 3])
+    mask = a.interesting_mask(b)  # pieces b has that a misses
+    assert list(np.flatnonzero(mask)) == [2, 3]
+
+
+def test_is_interested_in():
+    a = Bitfield.from_indices(4, [0])
+    b = Bitfield.from_indices(4, [0, 1])
+    assert a.is_interested_in(b)
+    assert not b.is_interested_in(a)
+
+
+def test_seed_not_interested_in_anyone():
+    seed = Bitfield(4, full=True)
+    other = Bitfield.from_indices(4, [1, 2])
+    assert not seed.is_interested_in(other)
+
+
+def test_as_array_readonly():
+    bf = Bitfield(4)
+    arr = bf.as_array()
+    with pytest.raises(ValueError):
+        arr[0] = True
+
+
+def test_held_indices_round_trip():
+    bf = Bitfield.from_indices(8, [1, 5, 7])
+    assert bf.held_indices() == [1, 5, 7]
+
+
+@given(st.sets(st.integers(0, 31), max_size=32))
+def test_property_count_matches_indices(indices):
+    bf = Bitfield.from_indices(32, indices)
+    assert bf.count == len(indices)
+    assert bf.complete == (len(indices) == 32)
+    assert set(bf.held_indices()) == indices
+
+
+@given(st.sets(st.integers(0, 15)), st.sets(st.integers(0, 15)))
+def test_property_interest_is_set_difference(a_idx, b_idx):
+    a = Bitfield.from_indices(16, a_idx)
+    b = Bitfield.from_indices(16, b_idx)
+    expected = b_idx - a_idx
+    got = set(np.flatnonzero(a.interesting_mask(b)))
+    assert {int(i) for i in got} == expected
+    assert a.is_interested_in(b) == bool(expected)

@@ -1,0 +1,84 @@
+"""Tests for the tit-for-tat choker."""
+
+import numpy as np
+import pytest
+
+from repro.bittorrent.choker import Choker, ChokerConfig
+
+
+def make(seed=0, **cfg):
+    return Choker(ChokerConfig(**cfg), np.random.default_rng(seed))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ChokerConfig(regular_slots=-1)
+    with pytest.raises(ValueError):
+        ChokerConfig(regular_slots=0, optimistic_slots=0)
+    with pytest.raises(ValueError):
+        ChokerConfig(optimistic_rounds=0)
+
+
+def test_no_interested_no_unchoke():
+    choker = make()
+    assert choker.select([], {}, seeding=False) == []
+
+
+def test_few_interested_all_unchoked():
+    choker = make(regular_slots=3, optimistic_slots=1)
+    assert choker.select(["a", "b"], {}, seeding=False) == ["a", "b"]
+
+
+def test_tit_for_tat_prefers_fast_uploaders():
+    choker = make(regular_slots=2, optimistic_slots=0)
+    interested = ["a", "b", "c", "d"]
+    received = {"a": 100.0, "b": 500.0, "c": 50.0, "d": 400.0}
+    assert set(choker.select(interested, received, seeding=False)) == {"b", "d"}
+
+
+def test_optimistic_slot_gives_slow_peer_a_chance():
+    """Over many rotations every non-regular peer gets optimistically
+    unchoked at some point."""
+    choker = make(seed=2, regular_slots=1, optimistic_slots=1, optimistic_rounds=1)
+    interested = ["fast", "slow1", "slow2", "slow3"]
+    received = {"fast": 1000.0}
+    seen = set()
+    for _ in range(60):
+        picked = choker.select(interested, received, seeding=False)
+        assert picked[0] == "fast"
+        seen.update(picked[1:])
+    assert seen == {"slow1", "slow2", "slow3"}
+
+
+def test_optimistic_pick_stable_between_rotations():
+    choker = make(seed=3, regular_slots=1, optimistic_slots=1, optimistic_rounds=5)
+    interested = ["fast", "s1", "s2", "s3", "s4"]
+    received = {"fast": 1000.0}
+    picks = [choker.select(interested, received, seeding=False)[1] for _ in range(5)]
+    assert len(set(picks)) == 1  # held for optimistic_rounds rounds
+
+
+def test_seed_round_robin_covers_everyone():
+    choker = make(regular_slots=2, optimistic_slots=0)
+    interested = ["a", "b", "c", "d", "e"]
+    seen = []
+    for _ in range(5):
+        seen.extend(choker.select(interested, {}, seeding=True))
+    assert set(seen) == set(interested)
+
+
+def test_seed_ignores_reciprocity():
+    choker = make(regular_slots=1, optimistic_slots=0)
+    interested = ["a", "b", "c"]
+    received = {"c": 9999.0}
+    picks = set()
+    for _ in range(3):
+        picks.update(choker.select(interested, received, seeding=True))
+    assert picks == {"a", "b", "c"}  # round-robin, not rate-ranked
+
+
+def test_deterministic_tie_break_on_peer_id():
+    choker = make(regular_slots=2, optimistic_slots=0)
+    interested = ["z", "a", "m", "b"]
+    picked = choker.select(interested, {}, seeding=False)
+    assert picked == ["a", "b"]

@@ -1,0 +1,119 @@
+"""Conservation and invariant property tests for the swarm engine.
+
+These are the "make really sure your algorithm is right" tests the
+optimization guide calls for before any tuning: byte conservation,
+bitfield/picker consistency, and capacity invariants across randomised
+membership schedules.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bittorrent.ledger import TransferLedger
+from repro.bittorrent.swarm import Swarm, SwarmConfig
+from repro.traces.model import PeerProfile, SwarmSpec
+
+PIECE = 256 * 1024.0
+
+
+def build_swarm(n_pieces=8, seed=0):
+    spec = SwarmSpec("s", file_size=n_pieces * PIECE, piece_size=PIECE,
+                     initial_seeder="seed")
+    return Swarm(spec, SwarmConfig(), np.random.default_rng(seed), TransferLedger())
+
+
+def availability_ground_truth(swarm):
+    total = np.zeros(swarm.num_pieces, dtype=np.int64)
+    for member in swarm.active.values():
+        total += member.bitfield.as_array()
+    return total
+
+
+@given(
+    schedule=st.lists(
+        st.tuples(
+            st.sampled_from(["join", "leave", "round"]),
+            st.integers(0, 5),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_property_picker_availability_matches_active_bitfields(schedule):
+    """The incrementally-maintained availability array always equals
+    the sum of active members' bitfields."""
+    swarm = build_swarm()
+    swarm.join(PeerProfile("seed", upload_capacity=1e6), 0.0)
+    t = 0.0
+    for op, pid_num in schedule:
+        pid = f"p{pid_num}"
+        t += 30.0
+        if op == "join":
+            swarm.join(PeerProfile(pid), t)
+        elif op == "leave":
+            swarm.leave(pid, t)
+        else:
+            swarm.run_round(t, 30.0)
+        assert np.array_equal(
+            swarm.picker.availability, availability_ground_truth(swarm)
+        )
+
+
+@given(seed=st.integers(0, 50), n_leechers=st.integers(1, 5))
+@settings(max_examples=25, deadline=None)
+def test_property_ledger_bytes_equal_piece_progress(seed, n_leechers):
+    """Conservation: bytes recorded in the ledger equal the bytes
+    embodied in completed pieces plus in-flight partial accumulators."""
+    swarm = build_swarm(seed=seed)
+    swarm.join(PeerProfile("seed", upload_capacity=1e6), 0.0)
+    for i in range(n_leechers):
+        swarm.join(PeerProfile(f"p{i}"), 0.0)
+    t = 0.0
+    for _ in range(12):
+        t += 30.0
+        swarm.run_round(t, 30.0)
+    total_ledger = swarm.ledger.total_bytes
+    embodied = 0.0
+    for pid, member in swarm.members.items():
+        if pid == "seed":
+            continue
+        embodied += sum(
+            swarm.piece_cost(i) for i in member.bitfield.held_indices()
+        )
+        embodied += sum(member.accum.values())
+    assert total_ledger == pytest.approx(embodied, rel=1e-9)
+
+
+@given(seed=st.integers(0, 30))
+@settings(max_examples=20, deadline=None)
+def test_property_upload_capacity_never_exceeded(seed):
+    up_cap = 50_000.0
+    swarm = build_swarm(n_pieces=32, seed=seed)
+    swarm.join(PeerProfile("seed", upload_capacity=up_cap), 0.0)
+    for i in range(4):
+        swarm.join(PeerProfile(f"p{i}"), 0.0)
+    t, dt, rounds = 0.0, 30.0, 10
+    for _ in range(rounds):
+        t += dt
+        swarm.run_round(t, dt)
+    assert swarm.ledger.uploaded_by("seed") <= up_cap * dt * rounds * (1 + 1e-9)
+
+
+@given(seed=st.integers(0, 30))
+@settings(max_examples=20, deadline=None)
+def test_property_no_piece_downloaded_twice(seed):
+    """A completed download moved exactly file_size bytes — never more
+    (no duplicate piece transfers)."""
+    swarm = build_swarm(n_pieces=4, seed=seed)
+    swarm.join(PeerProfile("seed", upload_capacity=1e6), 0.0)
+    swarm.join(PeerProfile("a", download_capacity=1e6), 0.0)
+    t = 0.0
+    while swarm.progress_of("a") < 1.0 and t < 3600.0:
+        t += 30.0
+        swarm.run_round(t, 30.0)
+    assert swarm.progress_of("a") == 1.0
+    assert swarm.ledger.downloaded_by("a") == pytest.approx(
+        swarm.spec.file_size, rel=1e-9
+    )

@@ -1,0 +1,115 @@
+"""Tests for swarm statistics."""
+
+import pytest
+
+from repro.bittorrent.session import BitTorrentSession, SessionConfig
+from repro.bittorrent.stats import SwarmStats, download_duration
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.traces.model import (
+    EventKind,
+    PeerProfile,
+    SwarmSpec,
+    Trace,
+    TraceEvent,
+)
+
+
+def make_session(duration=7200.0):
+    peers = {
+        "seed": PeerProfile("seed", upload_capacity=500_000.0),
+        "a": PeerProfile("a"),
+        "b": PeerProfile("b"),
+    }
+    swarms = {"s0": SwarmSpec("s0", file_size=4 * 256 * 1024, initial_seeder="seed")}
+    events = Trace.sorted_events(
+        [
+            TraceEvent(0.0, "seed", EventKind.SESSION_START),
+            TraceEvent(0.0, "seed", EventKind.SWARM_JOIN, "s0"),
+            TraceEvent(0.0, "a", EventKind.SESSION_START),
+            TraceEvent(0.0, "a", EventKind.SWARM_JOIN, "s0"),
+            TraceEvent(60.0, "b", EventKind.SESSION_START),
+            TraceEvent(60.0, "b", EventKind.SWARM_JOIN, "s0"),
+        ]
+    )
+    trace = Trace(duration=duration, peers=peers, swarms=swarms, events=events)
+    engine = Engine()
+    session = BitTorrentSession(
+        engine, trace, RngRegistry(0), config=SessionConfig(round_interval=30.0)
+    )
+    return engine, session
+
+
+def test_completions_recorded():
+    engine, session = make_session()
+    stats = SwarmStats(session, census_interval=600.0)
+    stats.install()
+    session.run()
+    done = {c.peer_id for c in stats.completions}
+    assert {"a", "b"} <= done
+    assert stats.completions_by_swarm()["s0"] >= 2
+
+
+def test_completion_times_ordered_and_positive():
+    engine, session = make_session()
+    stats = SwarmStats(session, census_interval=600.0)
+    stats.install()
+    session.run()
+    times = stats.completion_times("s0")
+    assert times and all(t > 0 for t in times)
+
+
+def test_census_tracks_seed_growth():
+    engine, session = make_session()
+    stats = SwarmStats(session, census_interval=600.0)
+    stats.install()
+    session.run()
+    snaps = stats.censuses["s0"]
+    assert snaps
+    # early snapshot: one seed; late snapshot: everyone seeding
+    assert snaps[-1].seeds >= snaps[0].seeds
+    assert snaps[-1].leechers == 0
+
+
+def test_mean_ratio_and_peak_size():
+    engine, session = make_session()
+    stats = SwarmStats(session, census_interval=600.0)
+    stats.install()
+    session.run()
+    assert stats.mean_seed_leecher_ratio("s0") > 0
+    assert stats.peak_swarm_size("s0") == 3
+
+
+def test_throughput_by_peer():
+    engine, session = make_session()
+    stats = SwarmStats(session, census_interval=600.0)
+    stats.install()
+    session.run()
+    tp = stats.throughput_by_peer()
+    assert tp["seed"] > 0
+    assert set(tp) == {"seed", "a", "b"}
+
+
+def test_download_duration():
+    engine, session = make_session()
+    stats = SwarmStats(session, census_interval=600.0)
+    stats.install()
+    session.run()
+    swarm = session.swarms["s0"]
+    d = download_duration(swarm, "a", joined_at=0.0)
+    assert d is not None and d > 0
+    assert download_duration(swarm, "ghost", 0.0) is None
+
+
+def test_double_install_rejected():
+    engine, session = make_session()
+    stats = SwarmStats(session)
+    stats.install()
+    with pytest.raises(RuntimeError):
+        stats.install()
+
+
+def test_census_interval_validation():
+    engine, session = make_session()
+    with pytest.raises(ValueError):
+        SwarmStats(session, census_interval=0.0)

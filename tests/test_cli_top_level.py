@@ -1,0 +1,30 @@
+"""Tests for the top-level CLI dispatcher."""
+
+from repro.__main__ import main
+
+
+def test_help(capsys):
+    assert main([]) == 0
+    assert "experiments" in capsys.readouterr().out
+
+
+def test_version(capsys):
+    assert main(["version"]) == 0
+    out = capsys.readouterr().out.strip()
+    assert out.count(".") == 2
+
+
+def test_unknown_command(capsys):
+    assert main(["frobnicate"]) == 2
+    assert "unknown command" in capsys.readouterr().err
+
+
+def test_traces_dispatch(tmp_path, capsys):
+    rc = main(
+        [
+            "traces", "generate", "--out", str(tmp_path), "--n", "1",
+            "--peers", "8", "--swarms", "2", "--days", "0.2",
+        ]
+    )
+    assert rc == 0
+    assert list(tmp_path.glob("*.jsonl"))

@@ -1,0 +1,130 @@
+"""Tests for BallotBox."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ballotbox import BallotBox
+from repro.core.votes import Vote, VoteEntry
+
+
+def ve(mod, vote, t=0.0):
+    return VoteEntry(mod, vote, t)
+
+
+def test_merge_and_counts():
+    bb = BallotBox(b_max=10)
+    bb.merge("v1", [ve("m1", Vote.POSITIVE), ve("m2", Vote.NEGATIVE)], now=1.0)
+    bb.merge("v2", [ve("m1", Vote.POSITIVE)], now=2.0)
+    assert bb.counts("m1") == (2, 0)
+    assert bb.counts("m2") == (0, 1)
+    assert bb.score("m1") == 2
+    assert bb.score("m2") == -1
+    assert bb.num_unique_users() == 2
+
+
+def test_one_vote_per_voter_per_moderator():
+    bb = BallotBox(b_max=10)
+    bb.merge("v1", [ve("m1", Vote.POSITIVE)], now=1.0)
+    bb.merge("v1", [ve("m1", Vote.NEGATIVE)], now=2.0)
+    assert bb.counts("m1") == (0, 1)
+    assert bb.total_votes() == 1
+
+
+def test_self_votes_filtered():
+    bb = BallotBox(b_max=10)
+    stored = bb.merge("m1", [ve("m1", Vote.POSITIVE)], now=1.0)
+    assert stored == 0
+    assert bb.num_unique_users() == 0
+
+
+def test_eviction_oldest_voter_when_over_capacity():
+    bb = BallotBox(b_max=2)
+    bb.merge("v1", [ve("m1", Vote.POSITIVE)], now=1.0)
+    bb.merge("v2", [ve("m1", Vote.POSITIVE)], now=2.0)
+    bb.merge("v3", [ve("m1", Vote.POSITIVE)], now=3.0)
+    assert bb.num_unique_users() == 2
+    assert bb.voters() == ["v2", "v3"]
+    assert bb.score("m1") == 2
+
+
+def test_refresh_protects_from_eviction():
+    bb = BallotBox(b_max=2)
+    bb.merge("v1", [ve("m1", Vote.POSITIVE)], now=1.0)
+    bb.merge("v2", [ve("m1", Vote.POSITIVE)], now=2.0)
+    bb.merge("v1", [ve("m2", Vote.POSITIVE)], now=3.0)  # v1 refreshed
+    bb.merge("v3", [ve("m1", Vote.POSITIVE)], now=4.0)
+    assert bb.voters() == ["v1", "v3"]  # v2 was oldest
+
+
+def test_empty_merge_is_noop():
+    bb = BallotBox(b_max=5)
+    assert bb.merge("v1", [], now=0.0) == 0
+    assert bb.num_unique_users() == 0
+
+
+def test_remove_voter():
+    bb = BallotBox(b_max=5)
+    bb.merge("v1", [ve("m1", Vote.POSITIVE)], now=0.0)
+    assert bb.remove_voter("v1")
+    assert not bb.remove_voter("v1")
+    assert bb.num_unique_users() == 0
+    assert bb.counts("m1") == (0, 0)
+
+
+def test_vote_of():
+    bb = BallotBox(b_max=5)
+    bb.merge("v1", [ve("m1", Vote.NEGATIVE)], now=0.0)
+    assert bb.vote_of("v1", "m1") is Vote.NEGATIVE
+    assert bb.vote_of("v1", "m2") is None
+    assert bb.vote_of("ghost", "m1") is None
+
+
+def test_moderators_sorted():
+    bb = BallotBox(b_max=5)
+    bb.merge("v1", [ve("z", Vote.POSITIVE), ve("a", Vote.POSITIVE)], now=0.0)
+    assert bb.moderators() == ["a", "z"]
+
+
+def test_b_max_validation():
+    with pytest.raises(ValueError):
+        BallotBox(b_max=0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 8), st.integers(0, 4), st.booleans()),
+        max_size=80,
+    ),
+    st.integers(1, 6),
+)
+def test_property_unique_voters_never_exceed_b_max(merges, b_max):
+    bb = BallotBox(b_max=b_max)
+    for t, (voter, mod, positive) in enumerate(merges):
+        v = Vote.POSITIVE if positive else Vote.NEGATIVE
+        bb.merge(f"v{voter}", [ve(f"m{mod}", v)], now=float(t))
+        assert bb.num_unique_users() <= b_max
+        # Score consistency: counts always sum to total mentions.
+        for m in bb.moderators():
+            pos, neg = bb.counts(m)
+            assert pos + neg >= 1
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.booleans()),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_property_eviction_is_oldest_first(merge_seq):
+    """With b_max=3, the surviving voters are always the 3 most
+    recently merged distinct voters."""
+    bb = BallotBox(b_max=3)
+    last_seen = {}
+    for t, (voter, positive) in enumerate(merge_seq):
+        v = Vote.POSITIVE if positive else Vote.NEGATIVE
+        bb.merge(f"v{voter}", [ve("m", v)], now=float(t))
+        last_seen[f"v{voter}"] = t
+    expected = sorted(last_seen, key=lambda p: -last_seen[p])[:3]
+    assert sorted(bb.voters()) == sorted(expected)

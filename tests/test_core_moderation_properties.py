@@ -1,0 +1,116 @@
+"""Model-based property tests for ModerationStore.
+
+A plain dict model shadows every operation; after any operation
+sequence the store must agree with the model and respect its capacity
+bound and eviction preferences.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.moderation import Moderation, ModerationStore
+
+
+def mk(moderator, torrent, version=1):
+    return Moderation(
+        moderator_id=f"m{moderator}",
+        torrent_id=f"t{torrent}",
+        title="x",
+        version=version,
+    )
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.integers(0, 4),
+            st.integers(0, 4),
+            st.integers(1, 3),
+        ),
+        st.tuples(st.just("purge"), st.integers(0, 4)),
+    ),
+    max_size=50,
+)
+
+
+@given(ops=ops)
+@settings(max_examples=80, deadline=None)
+def test_property_store_agrees_with_dict_model(ops):
+    store = ModerationStore(capacity=100)  # capacity never binds here
+    model = {}
+    now = 0.0
+    for op in ops:
+        now += 1.0
+        if op[0] == "insert":
+            _, moderator, torrent, version = op
+            mod = mk(moderator, torrent, version)
+            inserted_new = store.insert(mod, now)
+            key = mod.key()
+            if key not in model:
+                assert inserted_new
+                model[key] = mod
+            else:
+                assert not inserted_new
+                if version > model[key].version:
+                    model[key] = mod
+        else:
+            _, moderator = op
+            removed = store.purge_moderator(f"m{moderator}")
+            expected = [k for k in model if k[0] == f"m{moderator}"]
+            assert removed == len(expected)
+            for k in expected:
+                del model[k]
+        assert len(store) == len(model)
+        for key, mod in model.items():
+            got = store.get(*key)
+            assert got is not None and got.version == mod.version
+
+
+@given(
+    inserts=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=1, max_size=40
+    ),
+    capacity=st.integers(1, 8),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_capacity_bound_holds_after_enforcement(inserts, capacity):
+    store = ModerationStore(capacity=capacity)
+    now = 0.0
+    for moderator, torrent in inserts:
+        now += 1.0
+        store.insert(mk(moderator, torrent), now)
+        store.enforce_capacity()
+        assert len(store) <= capacity
+
+
+@given(
+    approved_mods=st.sets(st.integers(0, 3), max_size=2),
+    inserts=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 9)), min_size=5, max_size=30
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_approved_moderators_survive_eviction_preferentially(
+    approved_mods, inserts
+):
+    """If any non-approved item exists, eviction never removes an
+    approved moderator's item."""
+    capacity = 3
+    store = ModerationStore(capacity=capacity)
+    approved = frozenset(f"m{i}" for i in approved_mods)
+    now = 0.0
+    for moderator, torrent in inserts:
+        now += 1.0
+        store.insert(mk(moderator, torrent), now)
+        before_approved = {
+            k for k in (m.key() for m in store.all_items()) if k[0] in approved
+        }
+        store.enforce_capacity(approved)
+        after_keys = {m.key() for m in store.all_items()}
+        after_unapproved = [k for k in after_keys if k[0] not in approved]
+        lost_approved = before_approved - after_keys
+        if lost_approved:
+            # approved items may only be evicted when nothing
+            # unapproved was available to evict instead
+            assert not after_unapproved

@@ -1,0 +1,108 @@
+"""Round-trip tests for node-state persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.moderation import Moderation
+from repro.core.node import NodeConfig, VoteSamplingNode
+from repro.core.persistence import (
+    load_node,
+    node_from_dict,
+    node_to_dict,
+    save_node,
+)
+from repro.core.votes import Vote, VoteEntry
+
+
+@pytest.fixture()
+def populated_node():
+    node = VoteSamplingNode(
+        "me", NodeConfig(b_min=3, k=4, exchange_policy="recency"),
+        np.random.default_rng(0),
+    )
+    node.create_moderation("my-torrent", "mine", now=5.0)
+    node.receive_moderations(
+        [
+            Moderation("friend", "t1", "good stuff", created_at=1.0, version=2),
+            Moderation("other", "t2", "meh"),
+        ],
+        now=6.0,
+    )
+    node.cast_vote("friend", Vote.POSITIVE, 7.0)
+    node.cast_vote("enemy", Vote.NEGATIVE, 8.0)
+    node.receive_votes(
+        "v1",
+        [VoteEntry("friend", Vote.POSITIVE, 0.0), VoteEntry("x", Vote.NEGATIVE, 0.0)],
+        9.0,
+        experienced=True,
+    )
+    node.receive_votes("v2", [VoteEntry("x", Vote.POSITIVE, 0.0)], 10.0, True)
+    node.receive_top_k(["a", "b"])
+    node.set_vote_intention("future-mod", Vote.POSITIVE)
+    return node
+
+
+def test_round_trip_preserves_everything(populated_node, tmp_path):
+    path = tmp_path / "node.json"
+    save_node(populated_node, path)
+    restored = load_node(path)
+
+    assert restored.peer_id == "me"
+    assert restored.config == populated_node.config
+    # moderations
+    assert len(restored.store) == len(populated_node.store)
+    assert restored.store.get("friend", "t1").version == 2
+    # own votes
+    assert restored.vote_list.vote_on("friend") is Vote.POSITIVE
+    assert restored.vote_list.vote_on("enemy") is Vote.NEGATIVE
+    # ballot box
+    assert restored.ballot_box.num_unique_users() == 2
+    assert restored.ballot_box.counts("x") == (1, 1)
+    # voxpopuli cache and intentions
+    assert restored.topk_cache.known_moderators() == ["a", "b"]
+    assert restored.vote_intentions["future-mod"] is Vote.POSITIVE
+
+
+def test_restored_node_ranks_identically(populated_node, tmp_path):
+    path = tmp_path / "node.json"
+    save_node(populated_node, path)
+    restored = load_node(path)
+    assert restored.ballot_ranking() == populated_node.ballot_ranking()
+    assert restored.needs_bootstrap() == populated_node.needs_bootstrap()
+
+
+def test_volatile_state_not_persisted(populated_node, tmp_path):
+    populated_node.online = True
+    populated_node.votes_merged = 99
+    path = tmp_path / "node.json"
+    save_node(populated_node, path)
+    restored = load_node(path)
+    assert restored.online is False
+    assert restored.votes_merged == 0
+
+
+def test_unsupported_format_rejected(populated_node):
+    data = node_to_dict(populated_node)
+    data["format"] = 99
+    with pytest.raises(ValueError, match="format"):
+        node_from_dict(data)
+
+
+def test_empty_node_round_trips(tmp_path):
+    node = VoteSamplingNode("empty", NodeConfig(), np.random.default_rng(1))
+    path = tmp_path / "n.json"
+    save_node(node, path)
+    restored = load_node(path)
+    assert len(restored.store) == 0
+    assert restored.current_ranking() == []
+
+
+def test_disapproval_semantics_survive(populated_node, tmp_path):
+    """A restored node still refuses the disapproved moderator."""
+    path = tmp_path / "node.json"
+    save_node(populated_node, path)
+    restored = load_node(path)
+    got = restored.receive_moderations(
+        [Moderation("enemy", "t9", "sneaky")], now=20.0
+    )
+    assert got == 0

@@ -1,0 +1,56 @@
+"""Tests for TopKCache."""
+
+import pytest
+
+from repro.core.voxpopuli import TopKCache
+
+
+def test_bounded_by_v_max():
+    cache = TopKCache(v_max=3, k=3)
+    for i in range(10):
+        cache.add([f"m{i}"])
+    assert len(cache) == 3
+    assert cache.known_moderators() == ["m7", "m8", "m9"]
+
+
+def test_lists_truncated_to_k():
+    cache = TopKCache(v_max=5, k=2)
+    cache.add(["a", "b", "c", "d"])
+    assert cache.known_moderators() == ["a", "b"]
+
+
+def test_empty_list_ignored():
+    cache = TopKCache()
+    cache.add([])
+    assert len(cache) == 0
+    assert not cache
+
+
+def test_merged_ranking_averages():
+    cache = TopKCache(v_max=5, k=3)
+    cache.add(["a", "b"])
+    cache.add(["a", "c"])
+    merged = cache.merged_ranking()
+    assert merged[0][0] == "a"
+
+
+def test_clear():
+    cache = TopKCache()
+    cache.add(["a"])
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TopKCache(v_max=0)
+    with pytest.raises(ValueError):
+        TopKCache(k=0)
+
+
+def test_oldest_list_evicted_fifo():
+    cache = TopKCache(v_max=2, k=3)
+    cache.add(["old"])
+    cache.add(["mid"])
+    cache.add(["new"])
+    assert sorted(cache.known_moderators()) == ["mid", "new"]

@@ -1,0 +1,132 @@
+"""Tests for the Chord DHT substrate."""
+
+import pytest
+
+from repro.dht.chord import ChordConfig, ChordRing, chord_id
+
+
+def ring_with(names, now=0.0, **cfg):
+    ring = ChordRing(ChordConfig(**cfg))
+    for n in names:
+        ring.join(n, now)
+    return ring
+
+
+class TestBasics:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ChordConfig(bits=2)
+        with pytest.raises(ValueError):
+            ChordConfig(stabilize_interval=0.0)
+
+    def test_chord_id_stable_and_bounded(self):
+        a = chord_id("peer1", 16)
+        assert a == chord_id("peer1", 16)
+        assert 0 <= a < (1 << 16)
+        assert a != chord_id("peer2", 16)
+
+    def test_join_and_leave_membership(self):
+        ring = ring_with(["a", "b", "c"])
+        assert ring.online_count() == 3
+        ring.leave("b", 1.0)
+        assert ring.online_count() == 2
+        ring.leave("b", 1.0)  # idempotent
+        assert ring.online_count() == 2
+
+    def test_rejoin_after_leave(self):
+        ring = ring_with(["a", "b"])
+        ring.leave("a", 1.0)
+        ring.join("a", 2.0)
+        assert ring.online_count() == 2
+
+    def test_join_costs_messages_on_nonempty_ring(self):
+        ring = ChordRing()
+        ring.join("first", 0.0)
+        assert ring.join_messages == 0  # nothing to contact
+        ring.join("second", 0.0)
+        assert ring.join_messages > 0
+
+    def test_failure_costs_more_than_graceful_leave_and_loses_keys(self):
+        ring = ring_with(["a", "b", "c", "d"])
+        ring.leave("a", 1.0, graceful=True)
+        graceful = ring.leave_messages
+        ring.leave("b", 2.0, graceful=False)
+        assert ring.failure_messages > graceful - ring.leave_messages
+        assert ring.keys_lost == 1
+
+    def test_stabilize_costs_two_messages_per_node(self):
+        ring = ring_with(["a", "b", "c"])
+        before = ring.stabilize_messages
+        ring.stabilize_all(10.0)
+        assert ring.stabilize_messages - before == 6
+
+
+class TestLookup:
+    def test_lookup_succeeds_on_fresh_ring(self):
+        ring = ring_with([f"p{i}" for i in range(32)])
+        ring.stabilize_all(0.0)
+        messages, ok = ring.lookup("p0", "some-content-key", 1.0)
+        assert ok
+        assert messages >= 0
+
+    def test_lookup_hops_grow_logarithmically(self):
+        small = ring_with([f"p{i}" for i in range(4)])
+        small.stabilize_all(0.0)
+        large = ring_with([f"p{i}" for i in range(256)])
+        large.stabilize_all(0.0)
+
+        def mean_messages(ring, n=40):
+            total = 0
+            for i in range(n):
+                m, ok = ring.lookup("p0", f"key-{i}", 1.0)
+                assert ok
+                total += m
+            return total / n
+
+        m_small = mean_messages(small)
+        m_large = mean_messages(large)
+        assert m_large > m_small  # more nodes, more hops
+        assert m_large <= 2 + 2 * 8  # ~log2(256)=8, generous bound
+
+    def test_lookup_from_unknown_node_fails(self):
+        ring = ring_with(["a", "b"])
+        assert ring.lookup("ghost", "k", 0.0) == (0, False)
+
+    def test_stale_fingers_cost_timeouts(self):
+        ring = ring_with([f"p{i}" for i in range(64)])
+        ring.stabilize_all(0.0)
+        # Half the ring fails without re-stabilisation.
+        for i in range(1, 64, 2):
+            ring.leave(f"p{i}", 1.0, graceful=False)
+        before = ring.timeouts
+        for i in range(30):
+            ring.lookup("p0", f"key-{i}", 2.0)
+        assert ring.timeouts > before
+
+    def test_single_node_owns_everything(self):
+        ring = ring_with(["solo"])
+        ring.stabilize_all(0.0)
+        messages, ok = ring.lookup("solo", "anything", 1.0)
+        assert ok
+        assert messages == 0
+
+
+class TestMaintenanceUnderChurn:
+    def test_churn_generates_maintenance_traffic(self):
+        ring = ChordRing()
+        for i in range(20):
+            ring.join(f"p{i}", 0.0)
+        base = ring.total_maintenance_messages()
+        # a churn storm: half leave ungracefully, rejoin, repeat
+        t = 0.0
+        for cycle in range(5):
+            t += 600.0
+            for i in range(0, 20, 2):
+                ring.leave(f"p{i}", t, graceful=False)
+            ring.stabilize_all(t)
+            t += 600.0
+            for i in range(0, 20, 2):
+                ring.join(f"p{i}", t)
+            ring.stabilize_all(t)
+        assert ring.total_maintenance_messages() > base * 3
+        assert ring.keys_lost == 50

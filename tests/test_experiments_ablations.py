@@ -1,0 +1,56 @@
+"""Fast unit tests for the ablation drivers (tiny workloads).
+
+The shape assertions live in benchmarks/; here we check wiring:
+results exist, labels are right, variants actually differ in
+configuration.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_churn,
+    ablation_exchange_policy,
+    ablation_experience_threshold,
+    ablation_voxpopuli,
+)
+from repro.experiments.vote_sampling import VoteSamplingConfig
+from repro.sim.units import HOUR, MB
+from repro.traces.generator import TraceGeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    duration = 10 * HOUR
+    return VoteSamplingConfig(
+        seed=19,
+        duration=duration,
+        sample_interval=5 * 3600.0,
+        trace=TraceGeneratorConfig(n_peers=20, n_swarms=2, duration=duration),
+    )
+
+
+def test_exchange_policy_labels(tiny_config):
+    out = ablation_exchange_policy(tiny_config)
+    assert set(out) == {"recency_random", "recency", "random"}
+    for label, result in out.items():
+        assert label in result.name
+        assert "correct_fraction" in result.series
+
+
+def test_voxpopuli_toggle(tiny_config):
+    out = ablation_voxpopuli(tiny_config)
+    assert set(out) == {"with_voxpopuli", "without_voxpopuli"}
+
+
+def test_threshold_sweep_labels(tiny_config):
+    out = ablation_experience_threshold(tiny_config, thresholds=(1 * MB, 3 * MB))
+    assert set(out) == {"T=1MB", "T=3MB"}
+
+
+def test_churn_sweep_runs(tiny_config):
+    out = ablation_churn(tiny_config, availabilities=(0.4, 0.6))
+    assert set(out) == {"availability=40%", "availability=60%"}
+    for result in out.values():
+        series = result.get("correct_fraction")
+        assert len(series) > 0
+        assert 0.0 <= series.values.max() <= 1.0

@@ -1,0 +1,116 @@
+"""Tests for the simulated PKI (identities, signing, envelopes)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.identity import IdentityAuthority, SignatureError, SignedMessage
+from repro.identity.signatures import canonical_bytes
+
+
+@pytest.fixture()
+def authority():
+    return IdentityAuthority(seed=1)
+
+
+class TestAuthority:
+    def test_identities_are_unique(self, authority):
+        a = authority.create_identity("a")
+        b = authority.create_identity("b")
+        assert a.public_key != b.public_key
+        assert authority.known_public_keys() == 2
+
+    def test_reissue_rejected(self, authority):
+        authority.create_identity("a")
+        with pytest.raises(ValueError, match="already issued"):
+            authority.create_identity("a")
+
+    def test_identity_lookup(self, authority):
+        a = authority.create_identity("a")
+        assert authority.identity_of("a") is a
+        assert authority.identity_of("ghost") is None
+
+    def test_sign_verify_round_trip(self, authority):
+        a = authority.create_identity("a")
+        sig = authority.sign(a, b"hello")
+        assert authority.verify(a.public_key, b"hello", sig)
+
+    def test_verify_rejects_tampered_payload(self, authority):
+        a = authority.create_identity("a")
+        sig = authority.sign(a, b"hello")
+        assert not authority.verify(a.public_key, b"hellO", sig)
+
+    def test_verify_rejects_wrong_signer(self, authority):
+        a = authority.create_identity("a")
+        b = authority.create_identity("b")
+        sig = authority.sign(a, b"hello")
+        assert not authority.verify(b.public_key, b"hello", sig)
+
+    def test_verify_rejects_unknown_key(self, authority):
+        assert not authority.verify("deadbeef", b"x", b"\x00" * 16)
+
+    def test_cannot_sign_for_foreign_identity(self, authority):
+        other = IdentityAuthority(seed=2).create_identity("mallory")
+        with pytest.raises(KeyError):
+            authority.sign(other, b"x")
+
+    def test_forged_signature_fails(self, authority):
+        a = authority.create_identity("a")
+        forged = authority.forge_signature()
+        assert not authority.verify(a.public_key, b"hello", forged)
+
+    def test_deterministic_issuance_across_authorities(self):
+        k1 = IdentityAuthority(seed=9).create_identity("a").public_key
+        k2 = IdentityAuthority(seed=9).create_identity("a").public_key
+        assert k1 == k2
+
+
+class TestSignedMessage:
+    def test_envelope_round_trip(self, authority):
+        a = authority.create_identity("a")
+        msg = SignedMessage.create(authority, a, {"moderator": "a", "vote": 1})
+        assert msg.verify(authority)
+        assert msg.verified_payload(authority)["vote"] == 1
+
+    def test_tampered_payload_detected(self, authority):
+        a = authority.create_identity("a")
+        msg = SignedMessage.create(authority, a, {"moderator": "a", "vote": 1})
+        bad = msg.tampered_with(vote=-1)
+        assert not bad.verify(authority)
+        with pytest.raises(SignatureError):
+            bad.verified_payload(authority)
+
+    def test_signature_not_transferable_between_signers(self, authority):
+        a = authority.create_identity("a")
+        b = authority.create_identity("b")
+        msg = SignedMessage.create(authority, a, {"x": 1})
+        stolen = SignedMessage(
+            payload=msg.payload,
+            signer_public_key=b.public_key,
+            signature=msg.signature,
+        )
+        assert not stolen.verify(authority)
+
+    def test_canonical_bytes_is_key_order_independent(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.one_of(st.integers(), st.text(max_size=8), st.booleans()),
+            max_size=6,
+        )
+    )
+    def test_property_any_payload_round_trips(self, payload):
+        authority = IdentityAuthority(seed=3)
+        ident = authority.create_identity("p")
+        msg = SignedMessage.create(authority, ident, payload)
+        assert msg.verify(authority)
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_property_any_tamper_is_detected(self, blob):
+        authority = IdentityAuthority(seed=4)
+        ident = authority.create_identity("p")
+        sig = authority.sign(ident, blob)
+        tampered = bytes([blob[0] ^ 0x01]) + blob[1:]
+        assert not authority.verify(ident.public_key, tampered, sig)

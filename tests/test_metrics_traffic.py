@@ -1,0 +1,66 @@
+"""Unit tests for the protocol traffic meter."""
+
+import pytest
+
+from repro.metrics.traffic import (
+    EXCHANGE_OVERHEAD_BYTES,
+    MODERATION_BYTES,
+    RECORD_BYTES,
+    TOPK_ENTRY_BYTES,
+    VOTE_BYTES,
+    TrafficMeter,
+)
+
+
+def test_counters_start_empty():
+    meter = TrafficMeter()
+    assert meter.total_bytes() == 0.0
+    assert meter.total_exchanges() == 0
+    assert meter.summary() == {}
+
+
+def test_moderation_exchange_accounting():
+    meter = TrafficMeter()
+    meter.moderation_exchange(n_sent=3, n_received=2)
+    c = meter.counters["moderationcast"]
+    assert c.exchanges == 1
+    assert c.items == 5
+    assert c.bytes == EXCHANGE_OVERHEAD_BYTES + 5 * MODERATION_BYTES
+
+
+def test_vote_and_voxpopuli_and_bartercast():
+    meter = TrafficMeter()
+    meter.vote_exchange(10, 20)
+    meter.voxpopuli_exchange(3)
+    meter.bartercast_exchange(7)
+    assert meter.counters["ballotbox"].bytes == (
+        EXCHANGE_OVERHEAD_BYTES + 30 * VOTE_BYTES
+    )
+    assert meter.counters["voxpopuli"].bytes == (
+        EXCHANGE_OVERHEAD_BYTES + 3 * TOPK_ENTRY_BYTES
+    )
+    assert meter.counters["bartercast"].bytes == (
+        EXCHANGE_OVERHEAD_BYTES + 7 * RECORD_BYTES
+    )
+    assert meter.total_exchanges() == 3
+
+
+def test_per_node_hour_normalisation():
+    meter = TrafficMeter()
+    meter.vote_exchange(1, 1)
+    per_nh = meter.per_node_hour(2.0)
+    assert per_nh["ballotbox"] == pytest.approx(
+        (EXCHANGE_OVERHEAD_BYTES + 2 * VOTE_BYTES) / 2.0
+    )
+
+
+def test_per_node_hour_validation():
+    with pytest.raises(ValueError):
+        TrafficMeter().per_node_hour(0.0)
+
+
+def test_summary_is_sorted_and_complete():
+    meter = TrafficMeter()
+    meter.vote_exchange(1, 1)
+    meter.moderation_exchange(1, 1)
+    assert list(meter.summary()) == ["ballotbox", "moderationcast"]

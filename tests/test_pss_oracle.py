@@ -1,0 +1,81 @@
+"""Tests for OraclePSS."""
+
+import numpy as np
+
+from repro.pss.base import OnlineRegistry
+from repro.pss.ideal import OraclePSS
+
+
+def make(n=10, seed=0):
+    reg = OnlineRegistry()
+    for i in range(n):
+        reg.set_online(f"p{i}")
+    return reg, OraclePSS(reg, np.random.default_rng(seed))
+
+
+def test_never_returns_requester():
+    _, pss = make(5)
+    for _ in range(200):
+        assert pss.sample("p0") != "p0"
+
+
+def test_only_returns_online_peers():
+    reg, pss = make(5)
+    reg.set_offline("p3")
+    for _ in range(200):
+        assert pss.sample("p0") != "p3"
+
+
+def test_returns_none_when_alone():
+    reg = OnlineRegistry()
+    reg.set_online("solo")
+    pss = OraclePSS(reg, np.random.default_rng(0))
+    assert pss.sample("solo") is None
+
+
+def test_returns_none_when_empty():
+    reg = OnlineRegistry()
+    pss = OraclePSS(reg, np.random.default_rng(0))
+    assert pss.sample("anyone") is None
+
+
+def test_offline_requester_can_still_sample_others():
+    reg, pss = make(3)
+    reg.set_offline("p0")
+    got = {pss.sample("p0") for _ in range(50)}
+    assert got <= {"p1", "p2"}
+    assert got
+
+
+def test_sampling_is_roughly_uniform():
+    _, pss = make(6, seed=42)
+    counts = {f"p{i}": 0 for i in range(6)}
+    n = 6000
+    for _ in range(n):
+        counts[pss.sample("p0")] += 1
+    assert counts["p0"] == 0
+    expected = n / 5
+    for pid in ["p1", "p2", "p3", "p4", "p5"]:
+        assert abs(counts[pid] - expected) < 0.15 * expected
+
+
+def test_sample_many_distinct_and_excludes_requester():
+    _, pss = make(8)
+    got = pss.sample_many("p0", 5)
+    assert len(got) == 5
+    assert len(set(got)) == 5
+    assert "p0" not in got
+
+
+def test_sample_many_caps_at_population():
+    _, pss = make(4)
+    got = pss.sample_many("p0", 10)
+    assert sorted(got) == ["p1", "p2", "p3"]
+
+
+def test_deterministic_given_same_rng_seed():
+    _, pss1 = make(10, seed=7)
+    _, pss2 = make(10, seed=7)
+    seq1 = [pss1.sample("p0") for _ in range(20)]
+    seq2 = [pss2.sample("p0") for _ in range(20)]
+    assert seq1 == seq2

@@ -1,0 +1,84 @@
+"""Failure injection: protocol robustness under message loss.
+
+Gossip epidemics are claimed to be robust to failures (§II cites the
+epidemic literature); these tests inject connection-level loss on top
+of churn and check that dissemination still happens — degraded, not
+broken.
+"""
+
+import pytest
+
+from repro.bittorrent.session import BitTorrentSession, SessionConfig
+from repro.core.runtime import ProtocolRuntime, RuntimeConfig
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.units import HOUR, MB
+from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
+
+
+def run_with_loss(loss, seed=31, hours=6):
+    trace = TraceGenerator(
+        TraceGeneratorConfig(n_peers=20, n_swarms=2, duration=hours * HOUR,
+                             arrival_window=1 * HOUR),
+        seed=seed,
+    ).generate()
+    engine = Engine()
+    rng = RngRegistry(seed)
+    session = BitTorrentSession(
+        engine, trace, rng, config=SessionConfig(round_interval=120.0)
+    )
+    runtime = ProtocolRuntime(
+        session,
+        rng,
+        config=RuntimeConfig(
+            moderation_interval=120.0,
+            vote_interval=120.0,
+            bartercast_interval=300.0,
+            message_loss=loss,
+            experience_threshold=1 * MB,
+        ),
+    )
+    moderator = trace.arrival_order()[0]
+    runtime.ensure_node(moderator).create_moderation("t", "x", 0.0)
+    session.start()
+    engine.run_until(trace.duration)
+    spread = sum(
+        1 for n in runtime.nodes.values() if n.store.has_moderator(moderator)
+    )
+    return runtime, spread
+
+
+def test_loss_config_validation():
+    with pytest.raises(ValueError):
+        RuntimeConfig(message_loss=1.0)
+    with pytest.raises(ValueError):
+        RuntimeConfig(message_loss=-0.1)
+
+
+def test_exchanges_are_dropped_at_configured_rate():
+    runtime, _ = run_with_loss(0.5)
+    assert runtime.dropped_exchanges > 0
+
+
+def test_no_loss_drops_nothing():
+    runtime, _ = run_with_loss(0.0)
+    assert runtime.dropped_exchanges == 0
+
+
+def test_dissemination_survives_heavy_loss():
+    """Epidemic spread tolerates 50 % connection loss: the moderation
+    still reaches a substantial part of the population."""
+    _, spread_lossless = run_with_loss(0.0)
+    _, spread_lossy = run_with_loss(0.5)
+    assert spread_lossy >= max(3, spread_lossless // 3)
+
+
+def test_loss_degrades_but_never_corrupts():
+    """Under loss, every node's state stays internally consistent —
+    no partial merges."""
+    runtime, _ = run_with_loss(0.7)
+    for node in runtime.nodes.values():
+        assert node.ballot_box.num_unique_users() <= node.config.b_max
+        for m in node.ballot_box.moderators():
+            pos, neg = node.ballot_box.counts(m)
+            assert pos >= 0 and neg >= 0

@@ -1,0 +1,81 @@
+"""Calibration of the synthetic traces against §VI of the paper.
+
+The paper reports, for its real filelist.org dataset:
+
+* 10 traces × 7 days × 100 unique peers;
+* ≈23,000 events per trace ("approximately");
+* ≈50 % of the total population offline at any given time;
+* ≈25 % of peers upload little (free-riders);
+* some peers "rarely present".
+
+These tests assert that the default :class:`TraceGeneratorConfig`
+reproduces each number within a tolerance band wide enough for
+stochastic variation but tight enough to be meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.traces.generator import TraceGeneratorConfig, generate_dataset
+from repro.traces.stats import compute_stats, online_fraction_series
+
+
+@pytest.fixture(scope="module")
+def default_traces():
+    # 3 replicas of the default (paper-calibrated) config — kept small
+    # because the full-size trace is ~20k+ events each.
+    return generate_dataset(n_traces=3, config=TraceGeneratorConfig(), seed=42)
+
+
+def test_population_and_duration(default_traces):
+    for t in default_traces:
+        assert len(t.peers) == 100
+        assert t.duration == pytest.approx(7 * 24 * 3600.0)
+
+
+def test_event_count_near_23k(default_traces):
+    counts = [len(t) for t in default_traces]
+    for c in counts:
+        assert 15_000 <= c <= 32_000, f"event count {c} far from paper's ~23k"
+    assert 18_000 <= np.mean(counts) <= 28_000
+
+
+def test_mean_online_fraction_near_half(default_traces):
+    fracs = [compute_stats(t).mean_online_fraction for t in default_traces]
+    assert 0.35 <= float(np.mean(fracs)) <= 0.60
+
+
+def test_online_fraction_is_roughly_stationary(default_traces):
+    """Churn should not drain the system: after the arrival window the
+    online fraction stays within a broad band around the mean."""
+    series = online_fraction_series(default_traces[0], step=3600.0)
+    # Skip the arrival ramp and the final sample (t == duration lies
+    # outside every half-open session, so it is always 0).
+    steady = series[12:-1, 1]
+    assert steady.min() > 0.15
+    assert steady.max() < 0.90
+
+
+def test_free_rider_fraction_is_25_percent(default_traces):
+    for t in default_traces:
+        assert compute_stats(t).free_rider_fraction == pytest.approx(0.25)
+
+
+def test_some_peers_rarely_present(default_traces):
+    stats = compute_stats(default_traces[0])
+    assert stats.rare_fraction > 0.02, "expected a rarely-present tail"
+    assert stats.rare_fraction < 0.40
+
+
+def test_availability_is_heterogeneous(default_traces):
+    avail = np.array(list(compute_stats(default_traces[0]).availability.values()))
+    assert avail.std() > 0.10, "availability should vary across peers"
+    assert avail.max() > 0.7
+    assert avail.min() < 0.2
+
+
+def test_dataset_has_ten_traces_by_default():
+    # Only check shape metadata here; content checked above on 3 replicas.
+    cfg = TraceGeneratorConfig(n_peers=10, n_swarms=2, duration=6 * 3600.0)
+    traces = generate_dataset(config=cfg, seed=0)
+    assert len(traces) == 10

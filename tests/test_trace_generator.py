@@ -1,0 +1,132 @@
+"""Tests for the synthetic trace generator (structure + determinism).
+
+Calibration against the paper's reported statistics lives in
+``tests/test_trace_calibration.py``.
+"""
+
+import pytest
+
+from repro.sim.units import DAY, HOUR
+from repro.traces.generator import TraceGenerator, TraceGeneratorConfig, generate_dataset
+from repro.traces.model import EventKind
+
+
+def small_config(**kw):
+    base = dict(
+        n_peers=20,
+        duration=1 * DAY,
+        n_swarms=4,
+        arrival_window=2 * HOUR,
+    )
+    base.update(kw)
+    return TraceGeneratorConfig(**base)
+
+
+def test_generated_trace_validates():
+    trace = TraceGenerator(small_config(), seed=1).generate()
+    trace.validate()  # raises on violation
+
+
+def test_determinism_same_seed_same_trace():
+    t1 = TraceGenerator(small_config(), seed=5).generate(replica=2)
+    t2 = TraceGenerator(small_config(), seed=5).generate(replica=2)
+    assert t1.events == t2.events
+    assert t1.peers == t2.peers
+    assert t1.swarms == t2.swarms
+
+
+def test_different_replicas_differ():
+    gen = TraceGenerator(small_config(), seed=5)
+    t1, t2 = gen.generate(0), gen.generate(1)
+    assert t1.events != t2.events
+
+
+def test_peer_and_swarm_counts():
+    cfg = small_config()
+    trace = TraceGenerator(cfg, seed=0).generate()
+    assert len(trace.peers) == cfg.n_peers
+    assert len(trace.swarms) == cfg.n_swarms
+
+
+def test_free_rider_fraction_respected():
+    cfg = small_config(free_rider_fraction=0.25)
+    trace = TraceGenerator(cfg, seed=0).generate()
+    n_fr = sum(1 for p in trace.peers.values() if p.free_rider)
+    assert n_fr == round(cfg.n_peers * 0.25)
+
+
+def test_free_riders_have_reduced_upload_capacity():
+    cfg = small_config()
+    trace = TraceGenerator(cfg, seed=0).generate()
+    for p in trace.peers.values():
+        expected = (
+            cfg.free_rider_upload_capacity if p.free_rider else cfg.upload_capacity
+        )
+        assert p.upload_capacity == expected
+
+
+def test_initial_seeders_are_not_free_riders():
+    trace = TraceGenerator(small_config(), seed=3).generate()
+    for sw in trace.swarms.values():
+        assert sw.initial_seeder is not None
+        assert not trace.peers[sw.initial_seeder].free_rider
+
+
+def test_initial_seeders_arrive_at_t0():
+    trace = TraceGenerator(small_config(), seed=3).generate()
+    first_start = {}
+    for ev in trace.events:
+        if ev.kind is EventKind.SESSION_START and ev.peer_id not in first_start:
+            first_start[ev.peer_id] = ev.time
+    for sw in trace.swarms.values():
+        assert first_start[sw.initial_seeder] == 0.0
+
+
+def test_seeder_joins_its_swarm_every_session():
+    trace = TraceGenerator(small_config(), seed=3).generate()
+    sw = next(iter(trace.swarms.values()))
+    seeder = sw.initial_seeder
+    starts = sum(
+        1
+        for ev in trace.events
+        if ev.peer_id == seeder and ev.kind is EventKind.SESSION_START
+    )
+    joins = sum(
+        1
+        for ev in trace.events
+        if ev.peer_id == seeder
+        and ev.kind is EventKind.SWARM_JOIN
+        and ev.swarm_id == sw.swarm_id
+    )
+    assert joins == starts
+
+
+def test_file_sizes_within_configured_range():
+    cfg = small_config()
+    trace = TraceGenerator(cfg, seed=0).generate()
+    for sw in trace.swarms.values():
+        assert cfg.file_size_min <= sw.file_size <= cfg.file_size_max
+
+
+def test_generate_dataset_yields_distinct_traces():
+    traces = generate_dataset(n_traces=3, config=small_config(), seed=7)
+    assert len(traces) == 3
+    names = {t.name for t in traces}
+    assert len(names) == 3
+    assert traces[0].events != traces[1].events
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TraceGeneratorConfig(n_peers=1)
+    with pytest.raises(ValueError):
+        TraceGeneratorConfig(duration=-1.0)
+    with pytest.raises(ValueError):
+        TraceGeneratorConfig(free_rider_fraction=1.5)
+    with pytest.raises(ValueError):
+        TraceGeneratorConfig(n_swarms=0)
+
+
+def test_all_events_within_horizon():
+    trace = TraceGenerator(small_config(), seed=2).generate()
+    assert all(0.0 <= ev.time <= trace.duration for ev in trace.events)

@@ -1,0 +1,72 @@
+"""Round-trip tests for the JSONL trace format."""
+
+import json
+
+import pytest
+
+from repro.sim.units import DAY
+from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
+from repro.traces.loader import load_trace, save_trace
+
+
+@pytest.fixture()
+def trace():
+    cfg = TraceGeneratorConfig(n_peers=15, duration=0.5 * DAY, n_swarms=3)
+    return TraceGenerator(cfg, seed=11).generate()
+
+
+def test_round_trip_preserves_everything(trace, tmp_path):
+    path = tmp_path / "t.jsonl"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.duration == trace.duration
+    assert loaded.name == trace.name
+    assert loaded.peers == trace.peers
+    assert loaded.swarms == trace.swarms
+    assert loaded.events == trace.events
+
+
+def test_loaded_trace_is_validated(trace, tmp_path):
+    path = tmp_path / "t.jsonl"
+    save_trace(trace, path)
+    # Corrupt: inject an event for an unknown peer at the end.
+    with path.open("a") as fh:
+        fh.write(json.dumps({"type": "event", "t": trace.duration, "peer": "ghost",
+                             "kind": "session_start"}) + "\n")
+    with pytest.raises(ValueError):
+        load_trace(path)
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.touch()
+    with pytest.raises(ValueError, match="empty"):
+        load_trace(path)
+
+
+def test_missing_header_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"type": "event"}) + "\n")
+    with pytest.raises(ValueError, match="header"):
+        load_trace(path)
+
+
+def test_wrong_version_rejected(trace, tmp_path):
+    path = tmp_path / "t.jsonl"
+    save_trace(trace, path)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["version"] = 99
+    lines[0] = json.dumps(header)
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="version"):
+        load_trace(path)
+
+
+def test_blank_lines_tolerated(trace, tmp_path):
+    path = tmp_path / "t.jsonl"
+    save_trace(trace, path)
+    content = path.read_text().replace("\n", "\n\n", 5)
+    path.write_text(content)
+    loaded = load_trace(path)
+    assert loaded.events == trace.events

@@ -1,0 +1,44 @@
+"""Tests for the traces CLI."""
+
+from repro.traces.__main__ import main
+from repro.traces.loader import load_trace
+
+
+def test_generate_writes_dataset(tmp_path, capsys):
+    rc = main(
+        [
+            "generate",
+            "--out",
+            str(tmp_path),
+            "--n",
+            "2",
+            "--peers",
+            "12",
+            "--swarms",
+            "2",
+            "--days",
+            "0.25",
+            "--seed",
+            "5",
+        ]
+    )
+    assert rc == 0
+    files = sorted(tmp_path.glob("*.jsonl"))
+    assert len(files) == 2
+    trace = load_trace(files[0])
+    assert len(trace.peers) == 12
+
+
+def test_stats_reads_back(tmp_path, capsys):
+    main(
+        [
+            "generate", "--out", str(tmp_path), "--n", "1",
+            "--peers", "10", "--swarms", "2", "--days", "0.25",
+        ]
+    )
+    capsys.readouterr()
+    path = next(tmp_path.glob("*.jsonl"))
+    rc = main(["stats", str(path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "TraceStats" in out and "peers=10" in out

@@ -1,0 +1,87 @@
+"""Tests for the SVG chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.metrics.timeseries import TimeSeries
+from repro.viz.svg import LineChart, render_series
+
+
+def make_series(name, points):
+    s = TimeSeries(name)
+    for t, v in points:
+        s.append(t, v)
+    return s
+
+
+def test_empty_chart_rejected():
+    with pytest.raises(ValueError):
+        LineChart(title="x").to_svg()
+
+
+def test_mismatched_lengths_rejected():
+    chart = LineChart(title="x")
+    with pytest.raises(ValueError):
+        chart.add("a", [1, 2], [1])
+
+
+def test_output_is_valid_xml_with_polyline():
+    chart = LineChart(title="Fig X", y_max=1.0)
+    chart.add("a", [0.0, 3600.0, 7200.0], [0.0, 0.5, 1.0])
+    svg = chart.to_svg()
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+    polylines = [e for e in root.iter() if e.tag.endswith("polyline")]
+    assert len(polylines) == 1
+
+
+def test_multiple_series_get_distinct_colors():
+    chart = LineChart(title="t")
+    chart.add("a", [0.0, 3600.0], [0.0, 1.0])
+    chart.add("b", [0.0, 3600.0], [1.0, 0.0])
+    svg = chart.to_svg()
+    root = ET.fromstring(svg)
+    strokes = {
+        e.get("stroke")
+        for e in root.iter()
+        if e.tag.endswith("polyline")
+    }
+    assert len(strokes) == 2
+
+
+def test_legend_contains_series_names():
+    chart = LineChart(title="t")
+    chart.add("my-series", [0.0, 3600.0], [0.0, 1.0])
+    assert "my-series" in chart.to_svg()
+
+
+def test_points_stay_inside_canvas():
+    chart = LineChart(title="t", width=400, height=300, y_max=1.0)
+    chart.add("a", [0.0, 86400.0 * 7], [0.0, 1.0])
+    root = ET.fromstring(chart.to_svg())
+    for e in root.iter():
+        if e.tag.endswith("polyline"):
+            for pair in e.get("points").split():
+                x, y = map(float, pair.split(","))
+                assert 0 <= x <= 400
+                assert 0 <= y <= 300
+
+
+def test_render_series_writes_file(tmp_path):
+    series = {
+        "run0": make_series("run0", [(0.0, 0.0), (3600.0, 0.7)]),
+        "empty": TimeSeries("empty"),
+    }
+    path = render_series(series, "Fig 6", tmp_path / "fig6.svg")
+    assert path.exists()
+    content = path.read_text()
+    assert "run0" in content
+    assert "empty" not in content  # empty series skipped
+
+
+def test_save_round_trip(tmp_path):
+    chart = LineChart(title="t")
+    chart.add("a", [0.0, 1.0], [0.0, 1.0])
+    p = chart.save(tmp_path / "c.svg")
+    ET.fromstring(p.read_text())  # parses
