@@ -1,0 +1,27 @@
+# Convenience entry points.  Everything runs with PYTHONPATH=src so no
+# install step is needed.
+
+PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
+
+.PHONY: test bench bench-smoke bench-full results
+
+# Tier-1: the fast correctness suite (tests/ only).
+test:
+	$(PY) -m pytest -x -q
+
+# Full benchmark suite (quick-scale figures; REPRO_FULL=1 for paper scale).
+bench:
+	$(PY) -m pytest -q benchmarks
+
+# Perf regression gate: quick Fig-6 workload, fails unless the warm
+# contribution cache beats the uncached path by >= 3x.  Writes
+# BENCH_contribution.json so the perf trajectory accumulates per PR.
+bench-smoke:
+	$(PY) scripts/bench_contribution.py --check
+
+# Paper-scale contribution benchmark (slower; no gate).
+bench-full:
+	$(PY) scripts/bench_contribution.py --full
+
+results:
+	$(PY) scripts/collect_results.py

@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Contribution-oracle benchmark: cold vs warm lookups on a Fig-6 run.
+
+Runs the standard Fig-6 vote-sampling workload (quick scale by
+default), then measures on the resulting BarterCast state:
+
+* **scalar** — ``contribution(observer, subject)`` throughput, cold
+  (direct ``two_hop_flow`` evaluation, exactly the pre-cache hot path)
+  vs warm (version-keyed cache hits);
+* **batch** — ``contributions_to_observer`` rows/sec, cold (vectorised
+  closed form) vs warm (batch memo hits);
+* **end-to-end** — wall-clock of the simulation run itself, with the
+  run's cache counters.
+
+Results land in ``BENCH_contribution.json`` at the repo root so the
+perf trajectory accumulates across PRs.  ``--check`` exits non-zero
+when the warm scalar path is less than ``--min-speedup`` (default 3×)
+faster than cold — the regression gate ``make bench-smoke`` runs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_contribution.py [--full] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.bartercast.maxflow import two_hop_flow
+from repro.core.node import NodeConfig
+from repro.experiments.vote_sampling import VoteSamplingConfig, VoteSamplingExperiment
+from repro.sim.units import HOUR, MB
+from repro.traces.generator import TraceGeneratorConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_workload(full: bool, seed: int):
+    """One Fig-6 vote-sampling run; returns (stack, wall_clock, result)."""
+    hours = 72.0 if full else 6.0
+    n_peers = 100 if full else 40
+    n_swarms = 12 if full else 5
+    cfg = VoteSamplingConfig(
+        seed=seed,
+        duration=hours * HOUR,
+        sample_interval=1800.0,
+        experience_threshold=5 * MB,
+        node=NodeConfig(b_min=5, b_max=100, v_max=10, k=3),
+        trace=TraceGeneratorConfig(
+            n_peers=n_peers, n_swarms=n_swarms, duration=hours * HOUR
+        ),
+    )
+    experiment = VoteSamplingExperiment(cfg)
+    t0 = time.perf_counter()
+    result = experiment.run()
+    wall = time.perf_counter() - t0
+    assert experiment.last_stack is not None
+    return experiment.last_stack, wall, result
+
+
+def _timed_rounds(fn, min_seconds: float = 0.2):
+    """Run ``fn`` (one full pass) repeatedly until ``min_seconds`` of
+    total runtime accumulates; returns (passes, elapsed)."""
+    passes = 0
+    t0 = time.perf_counter()
+    while True:
+        fn()
+        passes += 1
+        elapsed = time.perf_counter() - t0
+        if elapsed >= min_seconds:
+            return passes, elapsed
+
+
+def bench_scalar(svc, pairs):
+    """Cold (uncached two_hop_flow) vs warm (cache hit) lookups/sec."""
+
+    def cold_pass():
+        for observer, subject in pairs:
+            two_hop_flow(svc.graph_of(observer), subject, observer)
+
+    def warm_pass():
+        for observer, subject in pairs:
+            svc.contribution(observer, subject)
+
+    cold_passes, cold_t = _timed_rounds(cold_pass)
+    svc.clear_caches()
+    warm_pass()  # prime: every pair becomes a cache entry
+    warm_passes, warm_t = _timed_rounds(warm_pass)
+    cold_rate = cold_passes * len(pairs) / cold_t
+    warm_rate = warm_passes * len(pairs) / warm_t
+    return {
+        "pairs": len(pairs),
+        "cold_lookups_per_s": round(cold_rate),
+        "warm_lookups_per_s": round(warm_rate),
+        "speedup": round(warm_rate / cold_rate, 2),
+    }
+
+
+def bench_batch(svc, observers, subjects):
+    """Cold (vectorised recompute) vs warm (memo hit) rows/sec."""
+
+    def cold_pass():
+        svc.clear_caches()
+        for observer in observers:
+            svc.contributions_to_observer(observer, subjects)
+
+    def warm_pass():
+        for observer in observers:
+            svc.contributions_to_observer(observer, subjects)
+
+    cold_passes, cold_t = _timed_rounds(cold_pass)
+    warm_pass()  # prime the memo
+    warm_passes, warm_t = _timed_rounds(warm_pass)
+    rows = len(observers) * len(subjects)
+    cold_rate = cold_passes * rows / cold_t
+    warm_rate = warm_passes * rows / warm_t
+    return {
+        "observers": len(observers),
+        "subjects": len(subjects),
+        "cold_rows_per_s": round(cold_rate),
+        "warm_rows_per_s": round(warm_rate),
+        "speedup": round(warm_rate / cold_rate, 2),
+    }
+
+
+def run(full: bool = False, seed: int = 7, out: Path = None) -> dict:
+    stack, wall, _result = run_workload(full, seed)
+    svc = stack.runtime.bartercast
+    run_stats = svc.cache_stats()
+
+    # Most-connected subjective graphs carry the realistic lookup cost.
+    peers = sorted(
+        stack.trace.peers, key=lambda p: svc.graph_of(p).num_edges(), reverse=True
+    )
+    observers = peers[:8]
+    subjects = peers[:25]
+    pairs = [(o, s) for o in observers for s in subjects if o != s]
+
+    scalar = bench_scalar(svc, pairs)
+    batch = bench_batch(svc, observers, list(stack.trace.peers))
+
+    report = {
+        "name": "bench_contribution",
+        "mode": "full" if full else "quick",
+        "seed": seed,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "workload": {
+            "n_peers": len(stack.trace.peers),
+            "trace_events": len(stack.trace.events),
+            "duration_hours": stack.trace.duration / HOUR,
+            "bartercast_exchanges": svc.exchanges,
+            "mean_graph_edges": round(
+                sum(svc.graph_of(p).num_edges() for p in stack.trace.peers)
+                / max(1, len(stack.trace.peers)),
+                1,
+            ),
+        },
+        "end_to_end": {
+            "run_wall_clock_s": round(wall, 2),
+            "trace_events_per_s": round(len(stack.trace.events) / wall, 1),
+            "cache_stats": run_stats,
+        },
+        "scalar": scalar,
+        "batch": batch,
+    }
+    out = out or REPO_ROOT / "BENCH_contribution.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale workload")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless warm scalar lookups beat cold by --min-speedup",
+    )
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    args = parser.parse_args(argv)
+
+    report = run(full=args.full, seed=args.seed, out=args.out)
+    print(json.dumps(report, indent=2))
+    if args.check and report["scalar"]["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: warm/cold speedup {report['scalar']['speedup']:.2f}x "
+            f"< required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

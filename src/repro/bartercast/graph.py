@@ -29,6 +29,17 @@ class SubjectiveGraph:
     node set would exceed it, the *smallest-degree-weight* node not on
     a path touching the owner's neighbourhood is evicted (pruning weak
     hearsay first; the owner itself is never evicted).
+
+    The graph maintains **per-node edge-version counters** so callers
+    can cache derived quantities and invalidate precisely:
+    ``out_version(u)`` advances whenever an edge *out of* ``u`` changes
+    (raised or removed) and ``in_version(v)`` whenever an edge *into*
+    ``v`` changes.  The 2-hop maxflow ``f(s→t)`` depends only on ``s``'s
+    out-edges and ``t``'s in-edges, so the pair
+    ``(out_version(s), in_version(t))`` is an exact validity key for a
+    cached flow.  ``version`` is the total mutation count (any edge
+    change anywhere).  Counters are monotone and survive node eviction,
+    so a re-added node can never resurrect a stale cache entry.
     """
 
     def __init__(self, owner: str, max_nodes: int = 0):
@@ -39,6 +50,9 @@ class SubjectiveGraph:
         self._out: Dict[str, Dict[str, float]] = {}
         self.records_folded = 0
         self.evicted = 0
+        self._out_version: Dict[str, int] = {}
+        self._in_version: Dict[str, int] = {}
+        self._version = 0
 
     # ------------------------------------------------------------------
     def add_record(self, record: TransferRecord) -> bool:
@@ -61,8 +75,15 @@ class SubjectiveGraph:
         row = self._out.setdefault(u, {})
         if w > row.get(v, 0.0):
             row[v] = w
+            self._bump(u, v)
         if self.max_nodes:
             self._enforce_node_bound()
+
+    def _bump(self, u: str, v: str) -> None:
+        """Record a change to edge ``(u, v)`` in the version counters."""
+        self._out_version[u] = self._out_version.get(u, 0) + 1
+        self._in_version[v] = self._in_version.get(v, 0) + 1
+        self._version += 1
 
     def _enforce_node_bound(self) -> None:
         nodes = self.nodes()
@@ -89,9 +110,29 @@ class SubjectiveGraph:
             self.evicted += 1
 
     def _remove_node(self, node: str) -> None:
-        self._out.pop(node, None)
-        for row in self._out.values():
-            row.pop(node, None)
+        removed_out = self._out.pop(node, None)
+        if removed_out:
+            for v in removed_out:
+                self._bump(node, v)
+        for u, row in self._out.items():
+            if row.pop(node, None) is not None:
+                self._bump(u, node)
+
+    # ------------------------------------------------------------------
+    # Version counters (cache-invalidation keys)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Total edge-mutation count — any change anywhere bumps it."""
+        return self._version
+
+    def out_version(self, u: str) -> int:
+        """Version of ``u``'s out-edge set (0 = never had one)."""
+        return self._out_version.get(u, 0)
+
+    def in_version(self, v: str) -> int:
+        """Version of ``v``'s in-edge set (0 = never had one)."""
+        return self._in_version.get(v, 0)
 
     # ------------------------------------------------------------------
     def weight(self, u: str, v: str) -> float:

@@ -16,24 +16,54 @@ Two implementations:
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
+
+import numpy as np
 
 from repro.bartercast.graph import SubjectiveGraph
 
 
 def two_hop_flow(graph: SubjectiveGraph, source: str, sink: str) -> float:
-    """Max flow from ``source`` to ``sink`` over paths of ≤ 2 edges."""
+    """Max flow from ``source`` to ``sink`` over paths of ≤ 2 edges.
+
+    Read-only: the graph is left untouched (``successors`` hands out a
+    copy, and this function does not mutate even that)."""
     if source == sink:
         return 0.0
     out = graph.successors(source)
-    flow = out.pop(sink, 0.0)
+    flow = out.get(sink, 0.0)
     for k, w_sk in out.items():
-        if k == source:
+        if k == source or k == sink:
             continue
         w_kt = graph.weight(k, sink)
         if w_kt > 0.0:
             flow += min(w_sk, w_kt)
     return flow
+
+
+def two_hop_flows_to_sink(
+    graph: SubjectiveGraph, sources: Sequence[str], sink: str
+) -> np.ndarray:
+    """``f(s→sink)`` for every ``s`` in ``sources`` (2-hop bound).
+
+    Vectorised closed form: one dense weight matrix ``W`` over the
+    union of the graph's nodes, the sink and the sources, then
+    ``f(s→t) = W[s,t] + Σ_k min(W[s,k], W[k,t])`` as a single numpy
+    ``minimum`` + row ``sum``.  Column ``t`` of the minimum matrix is
+    ``min(W[s,t], W[t,t]=0) = 0`` and the diagonal contributes
+    ``min(W[s,s]=0, ·) = 0``, so the direct edge is never double
+    counted and ``k = s`` never contributes.  Intermediates range over
+    *all* graph nodes, exactly as in :func:`two_hop_flow`; the node
+    order is sorted so results are reproducible across processes.
+    """
+    ids = sorted(graph.nodes() | {sink} | set(sources))
+    idx = {p: i for i, p in enumerate(ids)}
+    W = graph.to_matrix(ids)
+    t = idx[sink]
+    col = W[:, t]
+    flows = col + np.minimum(W, col[None, :]).sum(axis=1)
+    flows[t] = 0.0
+    return flows[[idx[s] for s in sources]]
 
 
 def edmonds_karp(

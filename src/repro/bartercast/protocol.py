@@ -21,10 +21,12 @@ colluders' own neighbourhood (the "front peer" discussion in §VII).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.bartercast.graph import SubjectiveGraph
-from repro.bartercast.maxflow import edmonds_karp, two_hop_flow
+from repro.bartercast.maxflow import edmonds_karp, two_hop_flow, two_hop_flows_to_sink
 from repro.bartercast.records import TransferRecord
 from repro.pss.base import PeerSamplingService
 
@@ -41,6 +43,11 @@ class BarterCastConfig:
     #: Per-node subjective-graph size bound (0 = unbounded).  Deployed
     #: BarterCast prunes weak hearsay to cap client memory.
     max_graph_nodes: int = 0
+    #: Cache ``contribution()`` results keyed by the subjective graph's
+    #: edge-version counters (see ``docs/simulator.md`` §Performance &
+    #: caching).  Semantically transparent — disable only to measure
+    #: the uncached path.
+    contribution_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.max_records_per_exchange < 1:
@@ -52,12 +59,29 @@ class BarterCastConfig:
 
 
 class _NodeState:
-    __slots__ = ("direct", "graph")
+    __slots__ = (
+        "direct",
+        "graph",
+        "direct_version",
+        "records_cache",
+        "contrib_cache",
+        "batch_cache",
+    )
 
     def __init__(self, owner: str, max_graph_nodes: int = 0):
         #: partner -> (up_total, down_total, last_update)
         self.direct: Dict[str, List[float]] = {}
         self.graph = SubjectiveGraph(owner, max_nodes=max_graph_nodes)
+        #: bumped on every direct-table mutation (invalidates the
+        #: cached top-K record list below)
+        self.direct_version = 0
+        #: (direct_version, records) — top-K most-significant records
+        self.records_cache: Optional[Tuple[int, List[TransferRecord]]] = None
+        #: subject -> ((out_version, in_version), flow) for the owner's
+        #: 2-hop contribution oracle
+        self.contrib_cache: Dict[str, Tuple[Tuple[int, int], float]] = {}
+        #: ((graph_version, subjects), flows) for the batch oracle
+        self.batch_cache: Optional[Tuple[Tuple[int, Tuple[str, ...]], np.ndarray]] = None
 
 
 class BarterCastService:
@@ -68,6 +92,15 @@ class BarterCastService:
         self.config = config or BarterCastConfig()
         self._nodes: Dict[str, _NodeState] = {}
         self.exchanges = 0
+        #: contribution-cache telemetry (see :meth:`cache_stats`)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
+        self.cache_bypasses = 0
+        self.batch_hits = 0
+        self.batch_misses = 0
+        self.records_cache_hits = 0
+        self.records_cache_misses = 0
 
     def _state(self, peer_id: str) -> _NodeState:
         st = self._nodes.get(peer_id)
@@ -87,12 +120,14 @@ class BarterCastService:
         rec = up_state.direct.setdefault(downloader, [0.0, 0.0, now])
         rec[0] += nbytes
         rec[2] = now
+        up_state.direct_version += 1
         up_state.graph.observe_direct(uploader, downloader, rec[0])
 
         down_state = self._state(downloader)
         rec2 = down_state.direct.setdefault(uploader, [0.0, 0.0, now])
         rec2[1] += nbytes
         rec2[2] = now
+        down_state.direct_version += 1
         down_state.graph.observe_direct(uploader, downloader, rec2[1])
 
     def inject_record(self, holder: str, record: TransferRecord) -> None:
@@ -125,13 +160,21 @@ class BarterCastService:
 
     def records_of(self, peer_id: str) -> List[TransferRecord]:
         """The node's own direct records, most-significant first,
-        truncated to the per-exchange budget."""
+        truncated to the per-exchange budget.
+
+        The sorted top-K list is cached per node and invalidated by the
+        direct-table version counter, so gossip ticks between transfers
+        reuse it instead of re-sorting the whole table."""
         st = self._state(peer_id)
+        if st.records_cache is not None and st.records_cache[0] == st.direct_version:
+            self.records_cache_hits += 1
+            return list(st.records_cache[1])
+        self.records_cache_misses += 1
         items = sorted(
             st.direct.items(),
             key=lambda kv: -(kv[1][0] + kv[1][1]),
         )[: self.config.max_records_per_exchange]
-        return [
+        records = [
             TransferRecord(
                 reporter=peer_id,
                 partner=partner,
@@ -141,19 +184,107 @@ class BarterCastService:
             )
             for partner, totals in items
         ]
+        st.records_cache = (st.direct_version, records)
+        return list(records)
 
     # ------------------------------------------------------------------
     # Contribution oracle
     # ------------------------------------------------------------------
     def contribution(self, observer: str, subject: str) -> float:
         """``f_{subject→observer}``: max flow from ``subject`` to
-        ``observer`` in the observer's subjective graph (bytes)."""
+        ``observer`` in the observer's subjective graph (bytes).
+
+        With the default 2-hop bound, results are cached per
+        ``(observer, subject)`` and keyed by the graph's
+        ``(out_version(subject), in_version(observer))`` pair — the
+        exact set of edges the 2-hop closed form can see — so warm
+        lookups are O(1) dict hits and cached values are the verbatim
+        output of :func:`two_hop_flow` (bit-identical to the uncached
+        path).  Other hop bounds bypass the cache: a distant edge
+        change can alter a deeper flow without touching either
+        endpoint's version."""
         if observer == subject:
             return 0.0
-        graph = self._state(observer).graph
-        if self.config.max_hops == 2:
+        st = self._state(observer)
+        graph = st.graph
+        if self.config.max_hops != 2:
+            self.cache_bypasses += 1
+            return edmonds_karp(graph, subject, observer, max_hops=self.config.max_hops)
+        if not self.config.contribution_cache:
+            self.cache_bypasses += 1
             return two_hop_flow(graph, subject, observer)
-        return edmonds_karp(graph, subject, observer, max_hops=self.config.max_hops)
+        key = (graph.out_version(subject), graph.in_version(observer))
+        entry = st.contrib_cache.get(subject)
+        if entry is not None:
+            if entry[0] == key:
+                self.cache_hits += 1
+                return entry[1]
+            self.cache_invalidations += 1
+        self.cache_misses += 1
+        value = two_hop_flow(graph, subject, observer)
+        st.contrib_cache[subject] = (key, value)
+        return value
+
+    def contributions_to_observer(
+        self, observer: str, subjects: Sequence[str]
+    ) -> np.ndarray:
+        """``f_{j→observer}`` for every ``j`` in ``subjects`` at once.
+
+        The batch counterpart of :meth:`contribution`: one vectorised
+        2-hop closed-form evaluation (numpy ``minimum`` + ``sum`` over
+        the observer's dense weight matrix) instead of a Python loop
+        per pair.  The result array is memoised per observer keyed by
+        ``(graph.version, subjects)``, so repeated metric probes or
+        re-screens over an unchanged graph are O(1).  Values agree with
+        :func:`two_hop_flow` up to float summation order.  Non-2-hop
+        configurations fall back to per-pair bounded maxflow."""
+        subjects = list(subjects)
+        st = self._state(observer)
+        graph = st.graph
+        if self.config.max_hops != 2:
+            return np.array(
+                [self.contribution(observer, s) for s in subjects], dtype=float
+            )
+        key = (graph.version, tuple(subjects))
+        if (
+            self.config.contribution_cache
+            and st.batch_cache is not None
+            and st.batch_cache[0] == key
+        ):
+            self.batch_hits += 1
+            return st.batch_cache[1].copy()
+        self.batch_misses += 1
+        flows = two_hop_flows_to_sink(graph, subjects, observer)
+        if self.config.contribution_cache:
+            st.batch_cache = (key, flows)
+            return flows.copy()
+        return flows
+
+    # ------------------------------------------------------------------
+    # Cache telemetry
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, int]:
+        """Counters for run summaries: hits/misses/invalidations of the
+        scalar contribution cache, batch-memo hits/misses, top-K record
+        cache hits/misses, and bypasses (cache disabled or non-2-hop)."""
+        return {
+            "contribution_hits": self.cache_hits,
+            "contribution_misses": self.cache_misses,
+            "contribution_invalidations": self.cache_invalidations,
+            "contribution_bypasses": self.cache_bypasses,
+            "batch_hits": self.batch_hits,
+            "batch_misses": self.batch_misses,
+            "records_hits": self.records_cache_hits,
+            "records_misses": self.records_cache_misses,
+        }
+
+    def clear_caches(self) -> None:
+        """Drop all cached derived state (benchmarks use this to
+        measure the cold path; never needed for correctness)."""
+        for st in self._nodes.values():
+            st.contrib_cache.clear()
+            st.batch_cache = None
+            st.records_cache = None
 
     def graph_of(self, peer_id: str) -> SubjectiveGraph:
         """The node's subjective graph (read-mostly; metrics use)."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, Sequence
 
 from repro.sim.units import MB
 
@@ -30,6 +30,17 @@ class ExperienceFunction(ABC):
     @abstractmethod
     def is_experienced(self, observer: str, subject: str) -> bool:
         """``True`` iff ``observer`` considers ``subject`` experienced."""
+
+    def experienced_many(
+        self, observer: str, subjects: Sequence[str]
+    ) -> Dict[str, bool]:
+        """Evaluate ``E_observer`` over many subjects at once.
+
+        Semantically equivalent to calling :meth:`is_experienced` per
+        subject; BarterCast-backed implementations override this to use
+        the vectorised batch-contribution oracle instead of one flow
+        evaluation per pair."""
+        return {s: self.is_experienced(observer, s) for s in subjects}
 
     def threshold_for(self, observer: str) -> float:
         """The observer's current threshold in bytes (diagnostics)."""
@@ -59,6 +70,16 @@ class ThresholdExperience(ExperienceFunction):
         if observer == subject:
             return False
         return self.bartercast.contribution(observer, subject) >= self.threshold
+
+    def experienced_many(
+        self, observer: str, subjects: Sequence[str]
+    ) -> Dict[str, bool]:
+        subjects = list(subjects)
+        flows = self.bartercast.contributions_to_observer(observer, subjects)
+        return {
+            s: (s != observer and f >= self.threshold)
+            for s, f in zip(subjects, flows)
+        }
 
     def threshold_for(self, observer: str) -> float:
         return self.threshold
@@ -129,6 +150,16 @@ class AdaptiveThresholdExperience(ExperienceFunction):
         if t <= 0.0:
             return True
         return self.bartercast.contribution(observer, subject) >= t
+
+    def experienced_many(
+        self, observer: str, subjects: Sequence[str]
+    ) -> Dict[str, bool]:
+        subjects = list(subjects)
+        t = self._thresholds.get(observer, 0.0)
+        if t <= 0.0:
+            return {s: s != observer for s in subjects}
+        flows = self.bartercast.contributions_to_observer(observer, subjects)
+        return {s: (s != observer and f >= t) for s, f in zip(subjects, flows)}
 
     def threshold_for(self, observer: str) -> float:
         return self._thresholds.get(observer, 0.0)

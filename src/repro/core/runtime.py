@@ -126,6 +126,10 @@ class ProtocolRuntime:
         self.nodes: Dict[str, VoteSamplingNode] = {}
         self._processes: Dict[str, List[PeriodicProcess]] = {}
         self.dropped_exchanges = 0
+        # Hoisted from _partner_for: the registry memoises streams by
+        # name, so caching the generator object draws the identical
+        # sequence while skipping a dict lookup per exchange.
+        self._message_loss_rng = rng.stream("message-loss")
         self.traffic = TrafficMeter()
         #: accumulated online node-seconds (for per-node-hour costs)
         self._online_seconds = 0.0
@@ -223,6 +227,20 @@ class ProtocolRuntime:
         self._processes[peer_id] = procs
         return procs
 
+    def run_summary(self) -> Dict[str, object]:
+        """One dict with everything a run report needs: per-protocol
+        traffic (the TrafficMeter), BarterCast exchange and cache
+        counters, drops, and accumulated online node-hours."""
+        return {
+            "traffic": self.traffic.summary(),
+            "bartercast": {
+                "exchanges": self.bartercast.exchanges,
+                **self.bartercast.cache_stats(),
+            },
+            "dropped_exchanges": self.dropped_exchanges,
+            "online_node_hours": self.online_node_hours(),
+        }
+
     def online_node_hours(self) -> float:
         """Accumulated online node-hours (closed sessions plus the
         still-open ones up to the current simulated time)."""
@@ -243,7 +261,7 @@ class ProtocolRuntime:
             # Stale PSS entry (possible with Newscast) = failed connect.
             return None
         if self.config.message_loss > 0.0:
-            if self._rng.stream("message-loss").random() < self.config.message_loss:
+            if self._message_loss_rng.random() < self.config.message_loss:
                 self.dropped_exchanges += 1
                 return None
         return self.ensure_node(partner)
@@ -325,7 +343,10 @@ class ProtocolRuntime:
         if after > before:
             # Raising T means "shield myself from the votes of
             # newcomers": re-screen the ballot box so votes accepted
-            # under the looser threshold no longer count.
-            for voter in node.ballot_box.voters():
-                if not self.experience.is_experienced(peer_id, voter):
+            # under the looser threshold no longer count.  One batch
+            # contribution evaluation covers every voter at once.
+            voters = list(node.ballot_box.voters())
+            verdicts = self.experience.experienced_many(peer_id, voters)
+            for voter in voters:
+                if not verdicts[voter]:
                     node.ballot_box.remove_voter(voter)

@@ -66,6 +66,10 @@ class VoteSamplingExperiment:
 
     def __init__(self, config: Optional[VoteSamplingConfig] = None):
         self.config = config or VoteSamplingConfig()
+        #: the most recent run's fully wired stack — kept so callers
+        #: (e.g. ``scripts/bench_contribution.py``) can probe the
+        #: post-run BarterCast state without re-simulating
+        self.last_stack: Optional[SimulationStack] = None
 
     # ------------------------------------------------------------------
     def _make_trace(self, replica: int) -> Trace:
@@ -108,6 +112,7 @@ class VoteSamplingExperiment:
 
         stack.recorder.add_probe("correct_fraction", probe)
         stack.run(until=cfg.duration)
+        self.last_stack = stack
 
         result = ExperimentResult(name=f"fig6-vote-sampling-r{replica}")
         result.series = dict(stack.recorder.series)
@@ -117,6 +122,7 @@ class VoteSamplingExperiment:
             "votes_cast": sum(
                 len(n.vote_list) for n in stack.runtime.nodes.values()
             ),
+            "run_summary": stack.runtime.run_summary(),
         }
         return result
 

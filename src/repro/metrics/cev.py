@@ -31,21 +31,14 @@ def flows_to_observer(
 ) -> np.ndarray:
     """``f_{j→observer}`` for every ``j`` in ``peers`` (2-hop bound).
 
-    Vectorised closed form over the observer's subjective graph.
+    Routed through the service's vectorised batch-contribution oracle
+    (:meth:`BarterCastService.contributions_to_observer`), which also
+    memoises the result while the observer's graph is unchanged —
+    successive metric samples over idle observers cost O(1).
+    Intermediate hops range over every node the observer's graph knows,
+    matching ``two_hop_flow`` exactly.
     """
-    ids = list(peers)
-    idx = {p: i for i, p in enumerate(ids)}
-    W = bartercast.graph_of(observer).to_matrix(ids)
-    i = idx[observer]
-    direct = W[:, i].copy()
-    # two-hop: for each source j, sum over k of min(W[j,k], W[k,i]).
-    # Column i of the minimum matrix is min(W[j,i], W[i,i]=0) = 0, and
-    # the diagonal contributes min(W[j,j]=0, ·) = 0, so no masking is
-    # required beyond what the zeros already give us.
-    two_hop = np.minimum(W, W[:, i][None, :]).sum(axis=1)
-    flows = direct + two_hop
-    flows[i] = 0.0
-    return flows
+    return bartercast.contributions_to_observer(observer, list(peers))
 
 
 def flow_matrix(

@@ -82,3 +82,21 @@ def test_loss_degrades_but_never_corrupts():
         for m in node.ballot_box.moderators():
             pos, neg = node.ballot_box.counts(m)
             assert pos >= 0 and neg >= 0
+
+
+class TestLossDeterminism:
+    """The per-exchange ``stream("message-loss")`` lookup is hoisted to
+    a cached generator at runtime construction; the draw sequence must
+    be unchanged and fixed-seed runs exactly reproducible."""
+
+    def test_hoisted_stream_is_the_registry_stream(self):
+        runtime, _ = run_with_loss(0.3, hours=1)
+        # same object ⇒ same draws as the per-call lookup produced
+        assert runtime._message_loss_rng is runtime._rng.stream("message-loss")
+
+    def test_fixed_seed_runs_drop_identically(self):
+        r1, spread1 = run_with_loss(0.5, seed=42)
+        r2, spread2 = run_with_loss(0.5, seed=42)
+        assert r1.dropped_exchanges == r2.dropped_exchanges > 0
+        assert spread1 == spread2
+        assert r1.traffic.summary() == r2.traffic.summary()
