@@ -4,8 +4,13 @@
 Runs the three figure experiments at full scale (100 peers, paper
 durations), writes a JSON summary to ``results/summary.json`` and the
 reproduced figures as SVG charts (``results/fig5.svg`` …).
+
+``--jobs N`` farms replica runs (fig6's 10, fig8's 3 per crowd size)
+over worker processes; results are bit-identical to the sequential
+default.
 """
 
+import argparse
 import json
 import time
 from pathlib import Path
@@ -26,7 +31,16 @@ def series_points(series, hours):
     return {h: round(float(series.value_at(h * 3600.0)), 4) for h in hours}
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for replica runs "
+        "(default: min(n_runs, cpu_count); 1 = sequential)",
+    )
+    args = parser.parse_args(argv)
     summary = {}
 
     t0 = time.time()
@@ -48,7 +62,9 @@ def main() -> None:
 
     t0 = time.time()
     print("fig6: 7-day vote sampling, 10-run average …", flush=True)
-    fig6 = VoteSamplingExperiment(VoteSamplingConfig(seed=2)).run_many(10)
+    fig6 = VoteSamplingExperiment(VoteSamplingConfig(seed=2)).run_many(
+        10, jobs=args.jobs
+    )
     summary["fig6"] = {
         "average": series_points(fig6.get("average"), [6, 12, 24, 48, 96, 168]),
         "runs_final": {
@@ -76,7 +92,7 @@ def main() -> None:
         print(f"fig8: 3-day spam attack, crowd={crowd}, 3-run average …", flush=True)
         fig8 = SpamAttackExperiment(
             SpamAttackConfig(seed=3, crowd_size=crowd)
-        ).run_many(3)
+        ).run_many(3, jobs=args.jobs)
         s = fig8.get("average")
         summary["fig8"][f"crowd={crowd}"] = {
             "points": series_points(s, [2, 6, 12, 24, 36, 48, 72]),

@@ -16,6 +16,9 @@ import numpy as np
 
 from repro.bartercast.records import TransferRecord
 
+#: Initial dense-matrix capacity; grown by doubling as nodes appear.
+_MIN_MATRIX_CAPACITY = 16
+
 
 class SubjectiveGraph:
     """Directed weighted graph of believed transfers.
@@ -40,6 +43,15 @@ class SubjectiveGraph:
     cached flow.  ``version`` is the total mutation count (any edge
     change anywhere).  Counters are monotone and survive node eviction,
     so a re-added node can never resurrect a stale cache entry.
+
+    Alongside the dict-of-dict adjacency the graph maintains an
+    **incrementally updated dense weight matrix**: every node gets a
+    row/column slot on first appearance (capacity doubles on demand),
+    edge raises write the new weight in place, and eviction compacts by
+    swapping the last slot into the vacated one.  :meth:`to_matrix` is
+    therefore a pure numpy gather instead of an O(E) Python rebuild —
+    the batch contribution oracle and the CEV metric read it on every
+    sample.
     """
 
     def __init__(self, owner: str, max_nodes: int = 0):
@@ -53,6 +65,11 @@ class SubjectiveGraph:
         self._out_version: Dict[str, int] = {}
         self._in_version: Dict[str, int] = {}
         self._version = 0
+        #: dense mirror of the adjacency: ``_W[_index[u], _index[v]]``
+        #: is ``weight(u, v)`` for every node that ever got an edge.
+        self._index: Dict[str, int] = {}
+        self._ids: List[str] = []
+        self._W = np.zeros((0, 0))
 
     # ------------------------------------------------------------------
     def add_record(self, record: TransferRecord) -> bool:
@@ -75,9 +92,49 @@ class SubjectiveGraph:
         row = self._out.setdefault(u, {})
         if w > row.get(v, 0.0):
             row[v] = w
+            ui = self._slot(u)
+            vi = self._slot(v)
+            self._W[ui, vi] = w
             self._bump(u, v)
         if self.max_nodes:
             self._enforce_node_bound()
+
+    def _slot(self, node: str) -> int:
+        """Dense-matrix row/column index for ``node``, allocating (and
+        growing the matrix) on first appearance."""
+        i = self._index.get(node)
+        if i is not None:
+            return i
+        n = len(self._ids)
+        if n == self._W.shape[0]:
+            cap = max(_MIN_MATRIX_CAPACITY, 2 * self._W.shape[0])
+            grown = np.zeros((cap, cap))
+            grown[:n, :n] = self._W[:n, :n]
+            self._W = grown
+        self._index[node] = n
+        self._ids.append(node)
+        return n
+
+    def _drop_slot(self, node: str) -> None:
+        """Free ``node``'s dense slot, compacting by moving the last
+        slot into the hole so the active block stays contiguous."""
+        i = self._index.pop(node, None)
+        if i is None:
+            return
+        last = len(self._ids) - 1
+        if i != last:
+            last_id = self._ids[last]
+            n = last + 1
+            # Row first, then column: the column copy re-reads the one
+            # overlapping cell (the new diagonal) from the copied row,
+            # which holds the old diagonal of ``last`` — always 0.
+            self._W[i, :n] = self._W[last, :n]
+            self._W[:n, i] = self._W[:n, last]
+            self._index[last_id] = i
+            self._ids[i] = last_id
+        self._W[last, :] = 0.0
+        self._W[:, last] = 0.0
+        self._ids.pop()
 
     def _bump(self, u: str, v: str) -> None:
         """Record a change to edge ``(u, v)`` in the version counters."""
@@ -117,6 +174,7 @@ class SubjectiveGraph:
         for u, row in self._out.items():
             if row.pop(node, None) is not None:
                 self._bump(u, node)
+        self._drop_slot(node)
 
     # ------------------------------------------------------------------
     # Version counters (cache-invalidation keys)
@@ -157,19 +215,38 @@ class SubjectiveGraph:
     # ------------------------------------------------------------------
     def to_matrix(self, order: Iterable[str]) -> np.ndarray:
         """Dense weight matrix in the given node order (metrics use —
-        vectorised CEV computation needs all flows at once)."""
+        vectorised CEV computation needs all flows at once).
+
+        Served as a numpy gather from the incrementally maintained
+        internal matrix: nodes unknown to the graph get zero rows and
+        columns, known nodes are permuted into the requested order.
+        Values are identical to a fresh edge-by-edge rebuild (placement
+        only, no arithmetic)."""
         ids = list(order)
-        index = {pid: i for i, pid in enumerate(ids)}
-        mat = np.zeros((len(ids), len(ids)))
-        for u, row in self._out.items():
-            ui = index.get(u)
-            if ui is None:
-                continue
-            for v, w in row.items():
-                vi = index.get(v)
-                if vi is not None:
-                    mat[ui, vi] = w
+        n = len(ids)
+        mat = np.zeros((n, n))
+        if n == 0 or not self._ids:
+            return mat
+        index = self._index
+        sel = np.fromiter(
+            (index.get(p, -1) for p in ids), dtype=np.intp, count=n
+        )
+        known = np.flatnonzero(sel >= 0)
+        if known.size:
+            ksel = sel[known]
+            mat[np.ix_(known, known)] = self._W[np.ix_(ksel, ksel)]
         return mat
+
+    def dense(self) -> Tuple[List[str], np.ndarray]:
+        """The internal node order and the active dense block.
+
+        The array is a **read-only view** of live storage — callers
+        needing to mutate must copy.  Mainly for diagnostics and tests;
+        metrics go through :meth:`to_matrix` for a stable order."""
+        n = len(self._ids)
+        view = self._W[:n, :n]
+        view.setflags(write=False)
+        return list(self._ids), view
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SubjectiveGraph(owner={self.owner!r}, edges={self.num_edges()})"

@@ -20,6 +20,7 @@ colluders' own neighbourhood (the "front peer" discussion in §VII).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -48,6 +49,11 @@ class BarterCastConfig:
     #: caching).  Semantically transparent — disable only to measure
     #: the uncached path.
     contribution_cache: bool = True
+    #: LRU bound on each node's per-subject contribution cache
+    #: (0 = unbounded).  Production-scale populations cap this so a
+    #: node gossiping with millions of peers holds O(bound) entries;
+    #: evictions are counted in :meth:`BarterCastService.cache_stats`.
+    contrib_cache_entries: int = 0
 
     def __post_init__(self) -> None:
         if self.max_records_per_exchange < 1:
@@ -56,6 +62,8 @@ class BarterCastConfig:
             raise ValueError("max_hops must be >= 1")
         if self.max_graph_nodes < 0:
             raise ValueError("max_graph_nodes must be >= 0")
+        if self.contrib_cache_entries < 0:
+            raise ValueError("contrib_cache_entries must be >= 0")
 
 
 class _NodeState:
@@ -78,8 +86,11 @@ class _NodeState:
         #: (direct_version, records) — top-K most-significant records
         self.records_cache: Optional[Tuple[int, List[TransferRecord]]] = None
         #: subject -> ((out_version, in_version), flow) for the owner's
-        #: 2-hop contribution oracle
-        self.contrib_cache: Dict[str, Tuple[Tuple[int, int], float]] = {}
+        #: 2-hop contribution oracle; ordered so an LRU bound can evict
+        #: the least recently touched subject first
+        self.contrib_cache: "OrderedDict[str, Tuple[Tuple[int, int], float]]" = (
+            OrderedDict()
+        )
         #: ((graph_version, subjects), flows) for the batch oracle
         self.batch_cache: Optional[Tuple[Tuple[int, Tuple[str, ...]], np.ndarray]] = None
 
@@ -97,6 +108,7 @@ class BarterCastService:
         self.cache_misses = 0
         self.cache_invalidations = 0
         self.cache_bypasses = 0
+        self.cache_evictions = 0
         self.batch_hits = 0
         self.batch_misses = 0
         self.records_cache_hits = 0
@@ -213,16 +225,24 @@ class BarterCastService:
         if not self.config.contribution_cache:
             self.cache_bypasses += 1
             return two_hop_flow(graph, subject, observer)
+        cap = self.config.contrib_cache_entries
         key = (graph.out_version(subject), graph.in_version(observer))
         entry = st.contrib_cache.get(subject)
         if entry is not None:
             if entry[0] == key:
                 self.cache_hits += 1
+                if cap:
+                    st.contrib_cache.move_to_end(subject)
                 return entry[1]
             self.cache_invalidations += 1
         self.cache_misses += 1
         value = two_hop_flow(graph, subject, observer)
         st.contrib_cache[subject] = (key, value)
+        if cap:
+            st.contrib_cache.move_to_end(subject)
+            while len(st.contrib_cache) > cap:
+                st.contrib_cache.popitem(last=False)
+                self.cache_evictions += 1
         return value
 
     def contributions_to_observer(
@@ -265,13 +285,16 @@ class BarterCastService:
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, int]:
         """Counters for run summaries: hits/misses/invalidations of the
-        scalar contribution cache, batch-memo hits/misses, top-K record
-        cache hits/misses, and bypasses (cache disabled or non-2-hop)."""
+        scalar contribution cache, LRU evictions under a
+        ``contrib_cache_entries`` bound, batch-memo hits/misses, top-K
+        record cache hits/misses, and bypasses (cache disabled or
+        non-2-hop)."""
         return {
             "contribution_hits": self.cache_hits,
             "contribution_misses": self.cache_misses,
             "contribution_invalidations": self.cache_invalidations,
             "contribution_bypasses": self.cache_bypasses,
+            "contribution_evictions": self.cache_evictions,
             "batch_hits": self.batch_hits,
             "batch_misses": self.batch_misses,
             "records_hits": self.records_cache_hits,

@@ -75,6 +75,12 @@ class ThresholdExperience(ExperienceFunction):
         self, observer: str, subjects: Sequence[str]
     ) -> Dict[str, bool]:
         subjects = list(subjects)
+        if len(subjects) == 1:
+            # A batch of one is cheaper (and bit-identical) through the
+            # scalar version-keyed cache than through densifying the
+            # observer's matrix — the vote tick's default fanout hits
+            # this path on every exchange.
+            return {subjects[0]: self.is_experienced(observer, subjects[0])}
         flows = self.bartercast.contributions_to_observer(observer, subjects)
         return {
             s: (s != observer and f >= self.threshold)
@@ -158,6 +164,9 @@ class AdaptiveThresholdExperience(ExperienceFunction):
         t = self._thresholds.get(observer, 0.0)
         if t <= 0.0:
             return {s: s != observer for s in subjects}
+        if len(subjects) == 1:
+            # Same single-subject fast path as ThresholdExperience.
+            return {subjects[0]: self.is_experienced(observer, subjects[0])}
         flows = self.bartercast.contributions_to_observer(observer, subjects)
         return {s: (s != observer and f >= t) for s, f in zip(subjects, flows)}
 

@@ -18,7 +18,7 @@ BarterCast; experience is evaluated on demand at each vote exchange.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 from repro.bartercast.protocol import BarterCastConfig, BarterCastService
@@ -60,6 +60,14 @@ class RuntimeConfig:
     #: T for the default threshold experience function (bytes).
     experience_threshold: float = 5 * MB
     bartercast: BarterCastConfig = field(default_factory=BarterCastConfig)
+    #: Partners gated and exchanged with per vote tick.  1 is the
+    #: paper's loop; larger fan-outs gate the whole round's partner set
+    #: through one batched ``experienced_many`` evaluation.
+    vote_fanout: int = 1
+    #: Convenience mirror of ``BarterCastConfig.contrib_cache_entries``
+    #: (LRU bound on per-node contribution caches; 0 = unbounded).
+    #: When set it overrides the value in ``bartercast``.
+    contrib_cache_entries: Optional[int] = None
     #: Probability that any protocol exchange fails (connection reset,
     #: NAT timeout, …) beyond what churn already causes.  Failure
     #: injection for robustness tests; 0 in the paper's experiments.
@@ -79,6 +87,10 @@ class RuntimeConfig:
                 raise ValueError(f"{name} must be positive")
         if not (0.0 <= self.jitter_fraction < 1.0):
             raise ValueError("jitter_fraction must be in [0, 1)")
+        if self.vote_fanout < 1:
+            raise ValueError("vote_fanout must be >= 1")
+        if self.contrib_cache_entries is not None and self.contrib_cache_entries < 0:
+            raise ValueError("contrib_cache_entries must be >= 0")
 
 
 NodeFactory = Callable[[str], VoteSamplingNode]
@@ -114,7 +126,13 @@ class ProtocolRuntime:
         else:
             self.pss = OraclePSS(self.registry, rng.stream("pss"))
 
-        self.bartercast = BarterCastService(self.pss, self.config.bartercast)
+        bartercast_config = self.config.bartercast
+        if self.config.contrib_cache_entries is not None:
+            bartercast_config = replace(
+                bartercast_config,
+                contrib_cache_entries=self.config.contrib_cache_entries,
+            )
+        self.bartercast = BarterCastService(self.pss, bartercast_config)
         session.ledger.add_listener(self.bartercast.local_transfer)
 
         self.experience: ExperienceFunction = (
@@ -285,32 +303,50 @@ class ProtocolRuntime:
         node = self.nodes[peer_id]
         if not node.online:
             return
-        partner = self._partner_for(peer_id)
-        if partner is None:
+        # The round's partner set: `vote_fanout` PSS draws (duplicates
+        # and failed connects dropped).  The whole set is gated through
+        # one `experienced_many` evaluation, which batches the forward
+        # flows; with the default fanout of 1 the single-subject fast
+        # path makes this bit-identical to the old pairwise gating.
+        partners: List[VoteSamplingNode] = []
+        seen = {peer_id}
+        for _ in range(self.config.vote_fanout):
+            candidate = self._partner_for(peer_id)
+            if candidate is None or candidate.peer_id in seen:
+                continue
+            seen.add(candidate.peer_id)
+            partners.append(candidate)
+        if not partners:
             return
         now = self.engine.now
-        # BallotBox (Fig 3 a+b): bidirectional vote-list exchange, each
-        # side gating on its own experience evaluation of the other.
-        votes_out = node.votes_to_send()
-        votes_in = partner.votes_to_send()
-        node.receive_votes(
-            partner.peer_id,
-            votes_in,
-            now,
-            experienced=self.experience.is_experienced(peer_id, partner.peer_id),
+        verdicts = self.experience.experienced_many(
+            peer_id, [p.peer_id for p in partners]
         )
-        partner.receive_votes(
-            peer_id,
-            votes_out,
-            now,
-            experienced=self.experience.is_experienced(partner.peer_id, peer_id),
-        )
-        self.traffic.vote_exchange(len(votes_out), len(votes_in))
-        # VoxPopuli (Fig 3 a+c): only while bootstrapping.
-        if node.config.voxpopuli_enabled and node.needs_bootstrap():
-            response = partner.respond_top_k()
-            node.receive_top_k(response)
-            self.traffic.voxpopuli_exchange(len(response) if response else 0)
+        for partner in partners:
+            # BallotBox (Fig 3 a+b): bidirectional vote-list exchange,
+            # each side gating on its own experience evaluation.
+            votes_out = node.votes_to_send()
+            votes_in = partner.votes_to_send()
+            node.receive_votes(
+                partner.peer_id,
+                votes_in,
+                now,
+                experienced=verdicts[partner.peer_id],
+            )
+            partner.receive_votes(
+                peer_id,
+                votes_out,
+                now,
+                experienced=self.experience.experienced_many(
+                    partner.peer_id, [peer_id]
+                )[peer_id],
+            )
+            self.traffic.vote_exchange(len(votes_out), len(votes_in))
+            # VoxPopuli (Fig 3 a+c): only while bootstrapping.
+            if node.config.voxpopuli_enabled and node.needs_bootstrap():
+                response = partner.respond_top_k()
+                node.receive_top_k(response)
+                self.traffic.voxpopuli_exchange(len(response) if response else 0)
 
     def _bartercast_tick(self, peer_id: str) -> None:
         node = self.nodes[peer_id]

@@ -3,12 +3,15 @@
 Usage::
 
     python -m repro.experiments fig5 [--quick] [--seed N]
-    python -m repro.experiments fig6 [--quick] [--runs N]
-    python -m repro.experiments fig8 [--quick] [--crowd N]
+    python -m repro.experiments fig6 [--quick] [--runs N] [--jobs N]
+    python -m repro.experiments fig8 [--quick] [--crowd N] [--jobs N]
     python -m repro.experiments all  [--quick]
 
 ``--quick`` shrinks durations/populations so each figure renders in
 well under a minute; without it the full paper-scale workloads run.
+``--jobs`` farms independent replicas (fig6 runs, fig8 crowd sizes,
+ablation variants) over worker processes — output is bit-identical to
+the default sequential run.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from repro.experiments.vote_sampling import (
     VoteSamplingConfig,
     VoteSamplingExperiment,
 )
+from repro.sim.parallel import ReplicaPool
 from repro.sim.units import DAY
 from repro.traces.generator import TraceGeneratorConfig
 
@@ -54,7 +58,7 @@ def run_fig6(args) -> None:
     exp = VoteSamplingExperiment(cfg)
     if args.runs > 1:
         print(f"[fig6] vote sampling, {args.runs} runs averaged …")
-        result = exp.run_many(args.runs)
+        result = exp.run_many(args.runs, jobs=args.jobs)
         shown = {
             k: v
             for k, v in result.series.items()
@@ -71,15 +75,21 @@ def run_fig6(args) -> None:
 
 def run_fig8(args) -> None:
     duration = 1.5 * DAY if args.quick else 3 * DAY
-    series = {}
+    experiments = []
     for crowd in args.crowd:
         cfg = SpamAttackConfig(seed=args.seed, crowd_size=crowd, duration=duration)
         if args.quick:
             cfg.trace = _quick_trace(duration)
             cfg.core_size = 15
         print(f"[fig8] spam attack, crowd={crowd} …")
-        result = SpamAttackExperiment(cfg).run()
-        series[f"crowd={crowd}"] = result.get("polluted_fraction")
+        experiments.append((crowd, SpamAttackExperiment(cfg)))
+    # Crowd sizes are independent runs — farm them like replicas.
+    pool = ReplicaPool(jobs=args.jobs)
+    results = pool.run_tasks([(exp, None) for _crowd, exp in experiments])
+    series = {
+        f"crowd={crowd}": result.get("polluted_fraction")
+        for (crowd, _exp), result in zip(experiments, results)
+    }
     print(ascii_chart(series, y_max=1.0))
 
 
@@ -105,7 +115,7 @@ def run_ablations(args) -> None:
     }
     for title, fn in suites.items():
         print(f"[ablation] {title} …")
-        for label, result in fn(base).items():
+        for label, result in fn(base, jobs=args.jobs).items():
             s = result.get("correct_fraction")
             print(f"  {label:<20} final={s.final():.3f} mean={s.values.mean():.3f}")
 
@@ -116,6 +126,13 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true", help="shrunken workloads")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--runs", type=int, default=1, help="fig6 replicas")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for independent runs "
+        "(default: min(n_runs, cpu_count); 1 = sequential)",
+    )
     parser.add_argument(
         "--crowd",
         type=int,

@@ -16,7 +16,7 @@ ablations here regenerate the evidence:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.experience import AdaptiveThresholdExperience, AlwaysExperienced
 from repro.core.runtime import RuntimeConfig
@@ -24,7 +24,30 @@ from repro.traces.generator import TraceGeneratorConfig
 from repro.experiments.common import ExperimentResult
 from repro.experiments.spam_attack import SpamAttackConfig, SpamAttackExperiment
 from repro.experiments.vote_sampling import VoteSamplingConfig, VoteSamplingExperiment
+from repro.sim.parallel import ReplicaPool
 from repro.sim.units import MB
+
+#: one ablation variant: ``(key, experiment, result_name)``; the name
+#: overrides the experiment's own (``None`` keeps it).
+_Spec = Tuple[str, object, Optional[str]]
+
+
+def _run_labelled(
+    specs: Sequence[_Spec], jobs: Optional[int] = None
+) -> Dict[str, ExperimentResult]:
+    """Run one single-replica experiment per spec — the variants of an
+    ablation are as independent as trace replicas, so they farm over
+    the same :class:`ReplicaPool` (``jobs=1`` = today's sequential
+    loop, bit-identical output either way)."""
+    specs = list(specs)
+    pool = ReplicaPool(jobs=jobs)
+    results = pool.run_tasks([(exp, None) for _key, exp, _name in specs])
+    out: Dict[str, ExperimentResult] = {}
+    for (key, _exp, name), result in zip(specs, results):
+        if name is not None:
+            result.name = name
+        out[key] = result
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -70,14 +93,18 @@ class _UndefendedSpamExperiment(SpamAttackExperiment):
 
 def ablation_adaptive_threshold(
     base: Optional[SpamAttackConfig] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, ExperimentResult]:
     """A1: fixed-T vs adaptive-T vs undefended under the same attack."""
     base = base or SpamAttackConfig()
-    return {
-        "fixed": SpamAttackExperiment(base).run(),
-        "adaptive": _AdaptiveSpamExperiment(base).run(),
-        "undefended": _UndefendedSpamExperiment(base).run(),
-    }
+    return _run_labelled(
+        [
+            ("fixed", SpamAttackExperiment(base), None),
+            ("adaptive", _AdaptiveSpamExperiment(base), None),
+            ("undefended", _UndefendedSpamExperiment(base), None),
+        ],
+        jobs=jobs,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -85,17 +112,18 @@ def ablation_adaptive_threshold(
 # ----------------------------------------------------------------------
 def ablation_exchange_policy(
     base: Optional[VoteSamplingConfig] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, ExperimentResult]:
     """A2: vote-selection policy comparison on the Fig 6 workload."""
     base = base or VoteSamplingConfig()
-    out: Dict[str, ExperimentResult] = {}
+    specs = []
     for policy in ("recency_random", "recency", "random"):
         node = replace(base.node, exchange_policy=policy)
         cfg = replace(base, node=node)
-        result = VoteSamplingExperiment(cfg).run()
-        result.name = f"ablation-a2-{policy}"
-        out[policy] = result
-    return out
+        specs.append(
+            (policy, VoteSamplingExperiment(cfg), f"ablation-a2-{policy}")
+        )
+    return _run_labelled(specs, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -103,10 +131,11 @@ def ablation_exchange_policy(
 # ----------------------------------------------------------------------
 def ablation_pss(
     base: Optional[VoteSamplingConfig] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, ExperimentResult]:
     """A3: oracle PSS vs Newscast gossip PSS on the Fig 6 workload."""
     base = base or VoteSamplingConfig()
-    out: Dict[str, ExperimentResult] = {}
+    specs = []
     for label, use_newscast in (("oracle", False), ("newscast", True)):
         runtime = RuntimeConfig(
             node=base.node,
@@ -114,10 +143,10 @@ def ablation_pss(
             use_newscast=use_newscast,
         )
         cfg = replace(base, runtime=runtime)
-        result = VoteSamplingExperiment(cfg).run()
-        result.name = f"ablation-a3-{label}"
-        out[label] = result
-    return out
+        specs.append(
+            (label, VoteSamplingExperiment(cfg), f"ablation-a3-{label}")
+        )
+    return _run_labelled(specs, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -125,6 +154,7 @@ def ablation_pss(
 # ----------------------------------------------------------------------
 def ablation_voxpopuli(
     base: Optional[VoteSamplingConfig] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, ExperimentResult]:
     """A6: what the bootstrap protocol buys (§V-C).
 
@@ -134,13 +164,12 @@ def ablation_voxpopuli(
     knee.
     """
     base = base or VoteSamplingConfig()
-    out: Dict[str, ExperimentResult] = {}
+    specs = []
     for label, enabled in (("with_voxpopuli", True), ("without_voxpopuli", False)):
         node = replace(base.node, voxpopuli_enabled=enabled)
-        result = VoteSamplingExperiment(replace(base, node=node)).run()
-        result.name = f"ablation-a6-{label}"
-        out[label] = result
-    return out
+        exp = VoteSamplingExperiment(replace(base, node=node))
+        specs.append((label, exp, f"ablation-a6-{label}"))
+    return _run_labelled(specs, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -149,6 +178,7 @@ def ablation_voxpopuli(
 def ablation_experience_threshold(
     base: Optional[VoteSamplingConfig] = None,
     thresholds=(2 * MB, 5 * MB, 20 * MB),
+    jobs: Optional[int] = None,
 ) -> Dict[str, ExperimentResult]:
     """A7: the speed/security trade of T (§V-B, 'T could be adapted').
 
@@ -157,15 +187,12 @@ def ablation_experience_threshold(
     argument.
     """
     base = base or VoteSamplingConfig()
-    out: Dict[str, ExperimentResult] = {}
+    specs = []
     for t in thresholds:
-        result = VoteSamplingExperiment(
-            replace(base, experience_threshold=t)
-        ).run()
+        exp = VoteSamplingExperiment(replace(base, experience_threshold=t))
         label = f"T={t / MB:g}MB"
-        result.name = f"ablation-a7-{label}"
-        out[label] = result
-    return out
+        specs.append((label, exp, f"ablation-a7-{label}"))
+    return _run_labelled(specs, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -174,6 +201,7 @@ def ablation_experience_threshold(
 def ablation_churn(
     base: Optional[VoteSamplingConfig] = None,
     availabilities=(0.3, 0.5, 0.7),
+    jobs: Optional[int] = None,
 ) -> Dict[str, ExperimentResult]:
     """A8: gossip robustness to churn (§II cites the epidemic
     literature; the traces' ≈50 % offline rate is the paper's ambient
@@ -182,7 +210,7 @@ def ablation_churn(
     collapse, as availability drops.
     """
     base = base or VoteSamplingConfig()
-    out: Dict[str, ExperimentResult] = {}
+    specs = []
     for avail in availabilities:
         # Beta(2a, 2(1-a)) keeps spread while moving the mean to `avail`.
         trace = TraceGeneratorConfig(
@@ -191,11 +219,10 @@ def ablation_churn(
                 "availability_beta": (4.0 * avail, 4.0 * (1.0 - avail)),
             }
         )
-        result = VoteSamplingExperiment(replace(base, trace=trace)).run()
+        exp = VoteSamplingExperiment(replace(base, trace=trace))
         label = f"availability={avail:.0%}"
-        result.name = f"ablation-a8-{label}"
-        out[label] = result
-    return out
+        specs.append((label, exp, f"ablation-a8-{label}"))
+    return _run_labelled(specs, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -206,6 +233,7 @@ def ablation_parameter_sweep(
     b_mins=(2, 5, 10),
     ks=(1, 3, 5),
     v_maxes=(3, 10, 25),
+    jobs: Optional[int] = None,
 ) -> Dict[str, ExperimentResult]:
     """A4: B_min / K / V_max sweeps on the Fig 6 workload.
 
@@ -213,20 +241,17 @@ def ablation_parameter_sweep(
     ``"<param>=<value>"``.
     """
     base = base or VoteSamplingConfig()
-    out: Dict[str, ExperimentResult] = {}
+    specs = []
     for b_min in b_mins:
         node = replace(base.node, b_min=b_min)
-        result = VoteSamplingExperiment(replace(base, node=node)).run()
-        result.name = f"ablation-a4-bmin{b_min}"
-        out[f"b_min={b_min}"] = result
+        exp = VoteSamplingExperiment(replace(base, node=node))
+        specs.append((f"b_min={b_min}", exp, f"ablation-a4-bmin{b_min}"))
     for k in ks:
         node = replace(base.node, k=k)
-        result = VoteSamplingExperiment(replace(base, node=node)).run()
-        result.name = f"ablation-a4-k{k}"
-        out[f"k={k}"] = result
+        exp = VoteSamplingExperiment(replace(base, node=node))
+        specs.append((f"k={k}", exp, f"ablation-a4-k{k}"))
     for v_max in v_maxes:
         node = replace(base.node, v_max=v_max)
-        result = VoteSamplingExperiment(replace(base, node=node)).run()
-        result.name = f"ablation-a4-vmax{v_max}"
-        out[f"v_max={v_max}"] = result
-    return out
+        exp = VoteSamplingExperiment(replace(base, node=node))
+        specs.append((f"v_max={v_max}", exp, f"ablation-a4-vmax{v_max}"))
+    return _run_labelled(specs, jobs=jobs)

@@ -93,9 +93,14 @@ class ExperimentResult:
         return rows
 
 
-def average_series(runs: Sequence[TimeSeries]) -> TimeSeries:
+def average_series(runs: Sequence[TimeSeries], with_std: bool = False):
     """Pointwise average of equally-sampled series (the paper's
-    'average of 10 trace runs').  Series are aligned on the shortest."""
+    'average of 10 trace runs').  Series are aligned on the shortest.
+
+    With ``with_std=True`` returns a ``(mean, std)`` pair where the
+    second series carries the per-point population standard deviation —
+    the replica spread the averaged figures hide.  The default single-
+    series return is unchanged."""
     if not runs:
         raise ValueError("no series to average")
     n = min(len(s) for s in runs)
@@ -107,7 +112,13 @@ def average_series(runs: Sequence[TimeSeries]) -> TimeSeries:
     means = stacked.mean(axis=0)
     for t, v in zip(times, means):
         out.append(float(t), float(v))
-    return out
+    if not with_std:
+        return out
+    spread = TimeSeries("std")
+    stds = stacked.std(axis=0)
+    for t, v in zip(times, stds):
+        spread.append(float(t), float(v))
+    return out, spread
 
 
 def ascii_chart(

@@ -20,7 +20,7 @@ from typing import Optional, Sequence
 
 from repro.core.runtime import RuntimeConfig
 from repro.experiments.common import ExperimentResult, SimulationStack
-from repro.metrics.cev import collective_experience_value
+from repro.metrics.cev import FlowMatrixCache, collective_experience_value
 from repro.sim.units import DAY, MB
 from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
 from repro.traces.model import Trace
@@ -73,10 +73,14 @@ class ExperienceFormationExperiment:
             sample_interval=cfg.sample_interval,
         )
         peers = list(trace.peers)
+        # One incremental flow-matrix cache shared by every sample:
+        # only observers whose graph changed since the previous sample
+        # cost a row recompute.
+        flow_cache = FlowMatrixCache(stack.runtime.bartercast, peers)
 
         def probe():
             cev = collective_experience_value(
-                stack.runtime.bartercast, peers, cfg.thresholds
+                stack.runtime.bartercast, peers, cfg.thresholds, cache=flow_cache
             )
             return {f"T={t / MB:g}MB": v for t, v in cev.items()}
 
@@ -90,5 +94,7 @@ class ExperienceFormationExperiment:
             "peers": len(trace.peers),
             "thresholds_mb": [t / MB for t in cfg.thresholds],
             "total_transfer_mb": stack.session.ledger.total_bytes / MB,
+            "flow_rows_recomputed": flow_cache.rows_recomputed,
+            "flow_rows_reused": flow_cache.rows_reused,
         }
         return result

@@ -27,6 +27,7 @@ from repro.experiments.common import (
     average_series,
 )
 from repro.metrics.pollution import pollution_fraction
+from repro.sim.parallel import ReplicaPool
 from repro.sim.units import DAY, HOUR, MB
 from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
 from repro.traces.model import Trace
@@ -241,22 +242,37 @@ class SpamAttackExperiment:
             cycle(pid, phase=float(rng.uniform(0.0, on_time)))
 
     # ------------------------------------------------------------------
-    def run_many(self, n_runs: int = 10) -> ExperimentResult:
-        runs = [self.run(replica=i) for i in range(n_runs)]
+    def run_many(
+        self, n_runs: int = 10, jobs: Optional[int] = None
+    ) -> ExperimentResult:
+        """Replica average; ``jobs`` parallelises as in Fig 6's
+        :meth:`VoteSamplingExperiment.run_many` (bit-identical for any
+        worker count)."""
+        pool = ReplicaPool(jobs=jobs)
+        runs = pool.run_replicas(self, range(n_runs))
         result = ExperimentResult(
             name=f"fig8-spam-attack-x{self.config.crowd_size}-avg{n_runs}"
         )
         for i, r in enumerate(runs):
             result.series[f"run{i}"] = r.get("polluted_fraction")
-        result.series["average"] = average_series(
-            [r.get("polluted_fraction") for r in runs]
+        mean, std = average_series(
+            [r.get("polluted_fraction") for r in runs], with_std=True
         )
-        result.metadata = {"n_runs": n_runs, "crowd_size": self.config.crowd_size}
+        result.series["average"] = mean
+        result.series["std"] = std
+        result.metadata = {
+            "n_runs": n_runs,
+            "crowd_size": self.config.crowd_size,
+            "jobs": pool.resolve_jobs(n_runs),
+        }
         return result
 
 
 def crowd_sweep(
-    base: SpamAttackConfig, sizes: List[int], n_runs: int = 3
+    base: SpamAttackConfig,
+    sizes: List[int],
+    n_runs: int = 3,
+    jobs: Optional[int] = None,
 ) -> Dict[int, ExperimentResult]:
     """Run the attack for several crowd sizes (the Fig 8 comparison)."""
     out: Dict[int, ExperimentResult] = {}
@@ -264,5 +280,5 @@ def crowd_sweep(
         cfg_dict = dict(base.__dict__)
         cfg_dict["crowd_size"] = size
         cfg = SpamAttackConfig(**cfg_dict)
-        out[size] = SpamAttackExperiment(cfg).run_many(n_runs)
+        out[size] = SpamAttackExperiment(cfg).run_many(n_runs, jobs=jobs)
     return out

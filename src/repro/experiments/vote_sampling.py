@@ -30,6 +30,7 @@ from repro.experiments.common import (
     average_series,
 )
 from repro.metrics.ordering import correct_order_fraction
+from repro.sim.parallel import ReplicaPool
 from repro.sim.units import DAY, MB
 from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
 from repro.traces.model import Trace
@@ -169,14 +170,26 @@ class VoteSamplingExperiment:
         return [m1, m2, m3]
 
     # ------------------------------------------------------------------
-    def run_many(self, n_runs: int = 10) -> ExperimentResult:
-        """The paper's 'average over 10 independent runs'."""
-        runs = [self.run(replica=i) for i in range(n_runs)]
+    def run_many(
+        self, n_runs: int = 10, jobs: Optional[int] = None
+    ) -> ExperimentResult:
+        """The paper's 'average over 10 independent runs'.
+
+        ``jobs`` farms the replicas over a :class:`ReplicaPool`
+        (``None`` = one worker per replica up to the CPU count,
+        ``1`` = sequential in-process).  Replicas are independent —
+        each derives its own seed — so any ``jobs`` value produces
+        bit-identical series.
+        """
+        pool = ReplicaPool(jobs=jobs)
+        runs = pool.run_replicas(self, range(n_runs))
         result = ExperimentResult(name=f"fig6-vote-sampling-avg{n_runs}")
         for i, r in enumerate(runs):
             result.series[f"run{i}"] = r.get("correct_fraction")
-        result.series["average"] = average_series(
-            [r.get("correct_fraction") for r in runs]
+        mean, std = average_series(
+            [r.get("correct_fraction") for r in runs], with_std=True
         )
-        result.metadata = {"n_runs": n_runs}
+        result.series["average"] = mean
+        result.series["std"] = std
+        result.metadata = {"n_runs": n_runs, "jobs": pool.resolve_jobs(n_runs)}
         return result

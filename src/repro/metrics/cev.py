@@ -19,7 +19,7 @@ for every threshold ``T`` simultaneously (Fig 5 plots several).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -41,11 +41,60 @@ def flows_to_observer(
     return bartercast.contributions_to_observer(observer, list(peers))
 
 
+class FlowMatrixCache:
+    """Incrementally maintained flow matrix over a fixed population.
+
+    Holds ``F[i, j] = f_{j→i}`` across metric samples and, on each
+    :meth:`matrix` call, recomputes **only the rows whose observer's
+    subjective graph changed** since the previous sample — row ``i``
+    depends solely on observer ``i``'s graph, whose monotone
+    ``version`` counter is an exact validity key.  Unchanged rows are
+    reused verbatim, so the result is bit-identical to a full
+    recompute.  ``rows_recomputed`` / ``rows_reused`` expose the split
+    for telemetry and tests.
+    """
+
+    def __init__(self, bartercast: BarterCastService, peers: Sequence[str]):
+        self.bartercast = bartercast
+        self.peers: List[str] = list(peers)
+        n = len(self.peers)
+        self._versions: List[Optional[int]] = [None] * n
+        self._F = np.zeros((n, n))
+        self.rows_recomputed = 0
+        self.rows_reused = 0
+
+    def matrix(self) -> np.ndarray:
+        """The up-to-date flow matrix (a live internal array — callers
+        must treat it as read-only; :func:`flow_matrix` hands out
+        copies)."""
+        for row, observer in enumerate(self.peers):
+            version = self.bartercast.graph_of(observer).version
+            if self._versions[row] == version:
+                self.rows_reused += 1
+                continue
+            self._F[row, :] = flows_to_observer(
+                self.bartercast, observer, self.peers
+            )
+            self._versions[row] = version
+            self.rows_recomputed += 1
+        return self._F
+
+
 def flow_matrix(
-    bartercast: BarterCastService, peers: Sequence[str]
+    bartercast: BarterCastService,
+    peers: Sequence[str],
+    cache: Optional[FlowMatrixCache] = None,
 ) -> np.ndarray:
-    """``F[i, j] = f_{j→i}``: what observer ``i`` credits source ``j``."""
+    """``F[i, j] = f_{j→i}``: what observer ``i`` credits source ``j``.
+
+    With ``cache`` (a :class:`FlowMatrixCache` built over the same
+    peer list) only changed-observer rows are recomputed; the returned
+    array is always the caller's to mutate."""
     ids = list(peers)
+    if cache is not None:
+        if cache.peers != ids:
+            raise ValueError("cache was built over a different peer list")
+        return cache.matrix().copy()
     F = np.zeros((len(ids), len(ids)))
     for row, observer in enumerate(ids):
         F[row, :] = flows_to_observer(bartercast, observer, ids)
@@ -56,16 +105,24 @@ def collective_experience_value(
     bartercast: BarterCastService,
     peers: Sequence[str],
     thresholds: Sequence[float],
+    cache: Optional[FlowMatrixCache] = None,
 ) -> Dict[float, float]:
     """CEV for each threshold ``T`` — one pass over the flow matrix.
 
     Returns ``{T: CEV}``.  ``peers`` is the *total* trace population.
+    Passing a :class:`FlowMatrixCache` makes successive samples
+    incremental (only changed-observer rows are recomputed).
     """
     ids = list(peers)
     n = len(ids)
     if n < 2:
         return {float(t): 0.0 for t in thresholds}
-    F = flow_matrix(bartercast, ids)
+    if cache is not None:
+        if cache.peers != ids:
+            raise ValueError("cache was built over a different peer list")
+        F = cache.matrix()
+    else:
+        F = flow_matrix(bartercast, ids)
     out: Dict[float, float] = {}
     denom = n * (n - 1)
     for t in thresholds:

@@ -323,6 +323,7 @@ class TestCacheStats:
             "contribution_misses",
             "contribution_invalidations",
             "contribution_bypasses",
+            "contribution_evictions",
             "batch_hits",
             "batch_misses",
             "records_hits",
@@ -337,6 +338,57 @@ class TestCacheStats:
         svc.clear_caches()
         assert svc.contribution("a", "b") == 7 * MB
         assert svc.cache_misses == 2  # recomputed after the clear
+
+
+class TestContribCacheBound:
+    """LRU bound on per-node contribution caches
+    (``contrib_cache_entries``)."""
+
+    def _svc(self, cap):
+        svc = make_service(
+            peers=("a", "b", "c", "d", "e"), contrib_cache_entries=cap
+        )
+        for subject in ("b", "c", "d", "e"):
+            svc.local_transfer(subject, "a", 3 * MB, now=0.0)
+        return svc
+
+    def test_cache_never_exceeds_cap(self):
+        svc = self._svc(cap=2)
+        for subject in ("b", "c", "d", "e"):
+            svc.contribution("a", subject)
+        assert len(svc._nodes["a"].contrib_cache) <= 2
+        assert svc.cache_evictions == 2
+        assert svc.cache_stats()["contribution_evictions"] == 2
+
+    def test_evicted_entries_recompute_correctly(self):
+        svc = self._svc(cap=1)
+        for _round in range(3):
+            for subject in ("b", "c", "d", "e"):
+                got = svc.contribution("a", subject)
+                assert got == two_hop_flow(svc.graph_of("a"), subject, "a")
+
+    def test_lru_order_keeps_recently_used(self):
+        svc = self._svc(cap=2)
+        svc.contribution("a", "b")
+        svc.contribution("a", "c")
+        svc.contribution("a", "b")  # refresh b — c is now the LRU entry
+        svc.contribution("a", "d")  # evicts c, not b
+        cache = svc._nodes["a"].contrib_cache
+        assert "b" in cache and "d" in cache and "c" not in cache
+        hits = svc.cache_hits
+        svc.contribution("a", "b")
+        assert svc.cache_hits == hits + 1
+
+    def test_unbounded_by_default_never_evicts(self):
+        svc = self._svc(cap=0)
+        for subject in ("b", "c", "d", "e"):
+            svc.contribution("a", subject)
+        assert svc.cache_evictions == 0
+        assert len(svc._nodes["a"].contrib_cache) == 4
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BarterCastConfig(contrib_cache_entries=-1)
 
 
 class TestExperienceBatch:

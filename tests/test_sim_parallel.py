@@ -1,0 +1,151 @@
+"""The parallel replica engine.
+
+The load-bearing property is **bit-identical determinism**: farming
+replicas over worker processes must produce exactly the floats the
+sequential loop produces, because each replica derives all randomness
+from ``seed + 1000·replica`` and shares no state.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.vote_sampling import (
+    VoteSamplingConfig,
+    VoteSamplingExperiment,
+)
+from repro.metrics.timeseries import TimeSeries
+from repro.sim.parallel import (
+    PackedResult,
+    ReplicaPool,
+    _run_task,
+    _strip,
+    pack_result,
+    unpack_result,
+)
+from repro.sim.units import HOUR
+from repro.traces.generator import TraceGeneratorConfig
+
+
+def tiny_config(seed: int = 7) -> VoteSamplingConfig:
+    duration = 6 * HOUR
+    return VoteSamplingConfig(
+        seed=seed,
+        duration=duration,
+        sample_interval=1800.0,
+        trace=TraceGeneratorConfig(n_peers=20, n_swarms=3, duration=duration),
+    )
+
+
+class TestResolveJobs:
+    def test_auto_caps_at_cpu_count_and_tasks(self):
+        pool = ReplicaPool()
+        cpus = os.cpu_count() or 1
+        assert pool.resolve_jobs(1) == 1
+        assert pool.resolve_jobs(1000) == cpus
+        assert pool.resolve_jobs(0) == 1
+
+    def test_explicit_jobs_cap(self):
+        assert ReplicaPool(jobs=3).resolve_jobs(10) == 3
+        assert ReplicaPool(jobs=3).resolve_jobs(2) == 2
+        assert ReplicaPool(jobs=1).resolve_jobs(10) == 1
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ValueError):
+            ReplicaPool(jobs=0)
+
+
+class TestPackRoundTrip:
+    def test_roundtrip_is_exact(self):
+        result = ExperimentResult(name="x")
+        s = TimeSeries("a")
+        for i in range(5):
+            s.append(i * 0.1, np.float64(i) / 3.0)
+        result.series["a"] = s
+        result.metadata = {"k": [1, 2], "nested": {"deep": 3}}
+        back = unpack_result(pack_result(result))
+        assert back.name == "x"
+        np.testing.assert_array_equal(
+            back.get("a").as_array(), s.as_array()
+        )
+        assert back.metadata == result.metadata
+
+    def test_packed_result_is_plain_data(self):
+        import pickle
+
+        packed = PackedResult(name="y", series={"s": np.zeros((2, 2))})
+        clone = pickle.loads(pickle.dumps(packed))
+        assert clone.name == "y"
+        np.testing.assert_array_equal(clone.series["s"], packed.series["s"])
+
+    def test_strip_clears_last_stack(self):
+        exp = VoteSamplingExperiment(tiny_config())
+        exp.last_stack = object()  # stand-in for an unpicklable stack
+        clone = _strip(exp)
+        assert clone.last_stack is None
+        assert exp.last_stack is not None  # original untouched
+        assert clone.config is exp.config
+
+
+class TestWorkerEntrypoint:
+    def test_run_task_packs(self):
+        packed = _run_task((VoteSamplingExperiment(tiny_config()), 0))
+        assert isinstance(packed, PackedResult)
+        assert "correct_fraction" in packed.series
+        assert packed.series["correct_fraction"].shape[1] == 2
+
+
+class TestBitIdenticalParallelism:
+    def test_run_many_parallel_matches_sequential(self):
+        """run_many(jobs=4) == run_many(jobs=1), float for float."""
+        seq = VoteSamplingExperiment(tiny_config()).run_many(4, jobs=1)
+        par = VoteSamplingExperiment(tiny_config()).run_many(4, jobs=4)
+        assert seq.keys() == par.keys()
+        for key in seq.keys():
+            np.testing.assert_array_equal(
+                seq.get(key).as_array(),
+                par.get(key).as_array(),
+                err_msg=f"series {key!r} diverged between jobs=1 and jobs=4",
+            )
+        assert seq.metadata["n_runs"] == par.metadata["n_runs"] == 4
+        assert par.metadata["jobs"] == 4
+        assert seq.metadata["jobs"] == 1
+
+    def test_run_many_emits_std_series(self):
+        result = VoteSamplingExperiment(tiny_config()).run_many(2, jobs=1)
+        assert "std" in result.series
+        run0 = result.get("run0").values
+        run1 = result.get("run1").values
+        n = min(len(run0), len(run1))
+        expect = np.stack([run0[:n], run1[:n]]).std(axis=0)
+        np.testing.assert_allclose(result.get("std").values[:n], expect)
+
+    def test_run_tasks_preserves_order(self):
+        exp = VoteSamplingExperiment(tiny_config())
+        results = ReplicaPool(jobs=2).run_tasks([(exp, 1), (exp, 0)])
+        assert [r.name for r in results] == [
+            "fig6-vote-sampling-r1",
+            "fig6-vote-sampling-r0",
+        ]
+
+    def test_run_tasks_empty(self):
+        assert ReplicaPool().run_tasks([]) == []
+
+    def test_unreimportable_main_falls_back_to_sequential(self, monkeypatch):
+        """A parent whose __main__ spawn children cannot re-execute
+        (e.g. a stdin-fed script) must degrade to sequential, not hang
+        in a worker respawn loop."""
+        import sys
+
+        main = sys.modules["__main__"]
+        monkeypatch.setattr(main, "__spec__", None, raising=False)
+        monkeypatch.setattr(main, "__file__", "<stdin>", raising=False)
+        exp = VoteSamplingExperiment(tiny_config())
+        with pytest.warns(RuntimeWarning, match="sequentially"):
+            results = ReplicaPool(jobs=2).run_tasks([(exp, 0), (exp, 1)])
+        assert [r.name for r in results] == [
+            "fig6-vote-sampling-r0",
+            "fig6-vote-sampling-r1",
+        ]
