@@ -15,10 +15,12 @@ bench:
 
 # Perf regression gate: quick Fig-6 workload, fails unless the warm
 # contribution cache beats the uncached path by >= 3x, parallel
-# run_many output is bit-identical to sequential, and (on multi-core
-# runners) the parallel 4-replica Fig-6 beats sequential by >= 1.5x.
-# Writes BENCH_contribution.json so the perf trajectory accumulates
-# per PR.
+# run_many output is bit-identical to sequential, the sparse graph
+# backend is bit-identical to dense (to_matrix and 2-hop flows) with
+# an O(E)-sized mirror at 10k nodes, threaded flow-row recompute is
+# bit-identical to serial, and (on multi-core runners) the parallel
+# paths beat sequential by >= 1.5x.  Writes BENCH_contribution.json
+# so the perf trajectory accumulates per PR.
 bench-smoke:
 	$(PY) scripts/bench_contribution.py --check
 

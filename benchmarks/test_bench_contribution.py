@@ -45,6 +45,20 @@ def test_warm_cache_speedup_gate(tmp_path):
     if report["replicas"]["speedup_gate_active"]:
         assert report["replicas"]["speedup"] >= 1.5, report["replicas"]
 
+    # The sparse graph backend must be bit-identical to dense and hold
+    # O(E) memory where the dense block would be O(n²).
+    sparse = report["sparse"]
+    assert sparse["paper_scale"]["matrices_bit_identical"] is True, sparse
+    assert sparse["paper_scale"]["flows_bit_identical"] is True, sparse
+    large = sparse["large_scale"]
+    assert large["sparse_mirror_bytes"] * 100 < large["projected_dense_bytes"], large
+
+    # Threaded flow-row recompute: same matrix always, faster where
+    # the hardware can overlap rows.
+    assert report["flow_rows"]["bit_identical"] is True, report["flow_rows"]
+    if report["flow_rows"]["speedup_gate_active"]:
+        assert report["flow_rows"]["speedup"] >= 1.5, report["flow_rows"]
+
     # The report must round-trip: it is the per-PR trajectory artifact.
     on_disk = json.loads(out.read_text())
     assert on_disk["scalar"] == report["scalar"]

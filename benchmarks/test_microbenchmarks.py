@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.bartercast.graph import SubjectiveGraph
-from repro.bartercast.maxflow import edmonds_karp, two_hop_flow
+from repro.bartercast.maxflow import edmonds_karp, two_hop_flow, two_hop_flows_to_sink
 from repro.bartercast.protocol import BarterCastService
 from repro.bittorrent.bitfield import Bitfield
 from repro.bittorrent.ledger import TransferLedger
@@ -60,6 +60,48 @@ def test_bench_cev_probe_100_peers(benchmark):
     thresholds = [2 * MB, 5 * MB, 10 * MB, 20 * MB, 50 * MB]
     out = benchmark(lambda: collective_experience_value(bc, peers, thresholds))
     assert 0.0 <= out[5 * MB] <= 1.0
+
+
+@pytest.fixture(scope="module")
+def backend_twins(dense_graph):
+    """The same random graph mirrored dense and sparse."""
+    g, nodes = dense_graph
+    sparse = SubjectiveGraph("owner", backend="sparse")
+    for u, v, w in g.edges():
+        sparse.observe_direct(u, v, w)
+    return g, sparse, nodes
+
+
+def test_bench_batch_flows_dense_backend(benchmark, backend_twins):
+    dense, _sparse, nodes = backend_twins
+    flows = benchmark(lambda: two_hop_flows_to_sink(dense, nodes, nodes[0]))
+    assert flows.shape == (len(nodes),)
+
+
+def test_bench_batch_flows_sparse_backend(benchmark, backend_twins):
+    dense, sparse, nodes = backend_twins
+    flows = benchmark(lambda: two_hop_flows_to_sink(sparse, nodes, nodes[0]))
+    # The sparse path must pay its O(E)-memory saving with identical
+    # floats, not merely close ones.
+    np.testing.assert_array_equal(
+        flows, two_hop_flows_to_sink(dense, nodes, nodes[0])
+    )
+
+
+def test_bench_sparse_build_10k_nodes(benchmark):
+    """Build a 10k-node sparse graph; the mirror must stay O(E) —
+    orders of magnitude under the 800 MB a dense block would take."""
+    n = 10_000
+
+    def build():
+        g = SubjectiveGraph("hub", backend="sparse")
+        for i in range(n):
+            g.observe_direct(f"n{i}", f"n{(i + 1) % n}", float(i % 13 + 1))
+        return g
+
+    g = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(g.nodes()) == n
+    assert g.matrix_nbytes() * 1000 < n * n * 8
 
 
 def test_bench_bitfield_interest(benchmark):

@@ -16,17 +16,24 @@ default), then measures on the resulting BarterCast state:
   series the two paths produce;
 * **matrix** — ``SubjectiveGraph.to_matrix`` (incremental numpy
   gather) vs a reference O(E) Python rebuild, and the incremental
-  ``FlowMatrixCache`` vs a cold full ``flow_matrix`` recompute.
+  ``FlowMatrixCache`` vs a cold full ``flow_matrix`` recompute;
+* **sparse** — dense vs sparse graph backend: bit-identity of
+  ``to_matrix`` and the 2-hop flows at paper scale, flow timing for
+  both, mirror memory, plus a 10k-node synthetic build that must never
+  allocate the O(n²) dense block;
+* **flow_rows** — serial vs threaded ``FlowMatrixCache`` changed-row
+  recompute (bit-identity always, speedup on multi-core machines).
 
 Results land in ``BENCH_contribution.json`` at the repo root so the
 perf trajectory accumulates across PRs.  ``--check`` exits non-zero
 when the warm scalar path is less than ``--min-speedup`` (default 3×)
 faster than cold, when parallel and sequential replica output differ,
-or when the parallel run is less than ``--min-replica-speedup``
+when sparse and dense flows are not bit-identical, or when a parallel
+path (replicas, flow rows) is less than ``--min-replica-speedup``
 (default 1.5×) faster on a multi-core machine — the regression gate
-``make bench-smoke`` runs.  On single-core runners the replica-speedup
-gate is skipped with a logged reason (the bit-identity check still
-applies).
+``make bench-smoke`` runs.  On single-core runners the speedup gates
+are skipped with a logged reason (the bit-identity checks still
+apply).
 
 Usage::
 
@@ -45,7 +52,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.bartercast.maxflow import two_hop_flow
+from repro.bartercast.graph import SubjectiveGraph
+from repro.bartercast.maxflow import two_hop_flow, two_hop_flows_to_sink
 from repro.core.node import NodeConfig
 from repro.experiments.vote_sampling import VoteSamplingConfig, VoteSamplingExperiment
 from repro.metrics.cev import FlowMatrixCache, flow_matrix
@@ -258,6 +266,151 @@ def bench_matrix(svc, observers, peers) -> dict:
     }
 
 
+def bench_sparse(svc, observers, peers, large_n: int = 10_000) -> dict:
+    """Dense vs sparse graph backend.
+
+    *Paper scale*: rebuild the run's most-connected subjective graphs
+    under both backends from the same edge lists, require ``to_matrix``
+    and the 2-hop flows to be **bit-identical**, and time the flow
+    evaluation on each.  *Large scale*: build a ``large_n``-node sparse
+    graph and report its build time and mirror footprint against the
+    *projected* (never allocated) dense block.
+    """
+    order = list(peers)
+    twins = []
+    for observer in observers:
+        source = svc.graph_of(observer)
+        dense = SubjectiveGraph(observer, backend="dense")
+        sparse = SubjectiveGraph(observer, backend="sparse")
+        for u, v, w in source.edges():
+            dense.observe_direct(u, v, w)
+            sparse.observe_direct(u, v, w)
+        twins.append((dense, sparse))
+
+    matrices_identical = all(
+        np.array_equal(d.to_matrix(order), s.to_matrix(order)) for d, s in twins
+    )
+    flows_identical = all(
+        np.array_equal(
+            two_hop_flows_to_sink(d, order, d.owner),
+            two_hop_flows_to_sink(s, order, s.owner),
+        )
+        for d, s in twins
+    )
+
+    def dense_pass():
+        for d, _s in twins:
+            two_hop_flows_to_sink(d, order, d.owner)
+
+    def sparse_pass():
+        for _d, s in twins:
+            two_hop_flows_to_sink(s, order, s.owner)
+
+    dense_passes, dense_t = _timed_rounds(dense_pass)
+    sparse_passes, sparse_t = _timed_rounds(sparse_pass)
+    dense_rate = dense_passes * len(twins) / dense_t
+    sparse_rate = sparse_passes * len(twins) / sparse_t
+
+    # Large scale: a ring plus skip links — sparse by construction.
+    t0 = time.perf_counter()
+    big = SubjectiveGraph("hub", backend="sparse")
+    for i in range(large_n):
+        big.observe_direct(f"n{i}", f"n{(i + 1) % large_n}", float(i % 23 + 1))
+        if i % 5 == 0:
+            big.observe_direct(f"n{i}", f"n{(i + 7) % large_n}", 2.0)
+    build_t = time.perf_counter() - t0
+    window = [f"n{i}" for i in range(128)]
+    t0 = time.perf_counter()
+    two_hop_flows_to_sink(big, window, "n1")
+    flow_window_t = time.perf_counter() - t0
+
+    return {
+        "paper_scale": {
+            "graphs": len(twins),
+            "order_size": len(order),
+            "matrices_bit_identical": matrices_identical,
+            "flows_bit_identical": flows_identical,
+            "dense_flow_evals_per_s": round(dense_rate, 1),
+            "sparse_flow_evals_per_s": round(sparse_rate, 1),
+            "dense_mirror_bytes": max(d.matrix_nbytes() for d, _s in twins),
+            "sparse_mirror_bytes": max(s.matrix_nbytes() for _d, s in twins),
+        },
+        "large_scale": {
+            "nodes": large_n,
+            "edges": big.num_edges(),
+            "backend": big.matrix_backend,
+            "build_s": round(build_t, 2),
+            "flow_window_s": round(flow_window_t, 3),
+            "sparse_mirror_bytes": big.matrix_nbytes(),
+            "projected_dense_bytes": large_n * large_n * 8,
+        },
+    }
+
+
+def bench_flow_rows(seed: int, n_peers: int = 256) -> dict:
+    """Serial vs threaded ``FlowMatrixCache`` full-row recompute.
+
+    Runs over a synthetic population large enough that per-row numpy
+    work dominates thread-pool startup (the quick Fig-6 rows are a few
+    microseconds each, which would make any pool look like pure
+    overhead).  Every pass starts from a cold cache (all rows stale),
+    so the measured work is exactly the changed-row recompute the
+    threads parallelise.  Like the replica gate, the speedup
+    requirement only applies where the hardware can actually overlap
+    rows.
+    """
+    from repro.bartercast.protocol import BarterCastConfig, BarterCastService
+    from repro.pss.base import OnlineRegistry
+    from repro.pss.ideal import OraclePSS
+
+    rng = np.random.default_rng(seed)
+    order = [f"p{i}" for i in range(n_peers)]
+    reg = OnlineRegistry()
+    for p in order:
+        reg.set_online(p)
+    svc = BarterCastService(
+        OraclePSS(reg, np.random.default_rng(seed)), BarterCastConfig()
+    )
+    for step in range(n_peers * 12):
+        u, v = rng.choice(n_peers, size=2, replace=False)
+        svc.local_transfer(
+            order[u], order[v], float(rng.uniform(1.0, 50.0)), now=float(step)
+        )
+
+    cpu = os.cpu_count() or 1
+    jobs = max(2, cpu)
+
+    serial = FlowMatrixCache(svc, order, jobs=1)
+    parallel = FlowMatrixCache(svc, order, jobs=jobs)
+    bit_identical = np.array_equal(serial.matrix(), parallel.matrix())
+
+    # Both passes drop the service's batch memo first: the serial path
+    # routes through it, and benchmarking memo hits against the
+    # memo-bypassing thread path would compare nothing.
+    def serial_pass():
+        svc.clear_caches()
+        FlowMatrixCache(svc, order, jobs=1).matrix()
+
+    def parallel_pass():
+        svc.clear_caches()
+        FlowMatrixCache(svc, order, jobs=jobs).matrix()
+
+    serial_passes, serial_t = _timed_rounds(serial_pass)
+    parallel_passes, parallel_t = _timed_rounds(parallel_pass)
+    serial_rate = serial_passes / serial_t
+    parallel_rate = parallel_passes / parallel_t
+    return {
+        "rows": len(order),
+        "jobs": jobs,
+        "cpu_count": cpu,
+        "bit_identical": bit_identical,
+        "serial_matrices_per_s": round(serial_rate, 2),
+        "parallel_matrices_per_s": round(parallel_rate, 2),
+        "speedup": round(parallel_rate / serial_rate, 2),
+        "speedup_gate_active": cpu >= 2,
+    }
+
+
 def run(full: bool = False, seed: int = 7, out: Path = None) -> dict:
     stack, wall, _result = run_workload(full, seed)
     svc = stack.runtime.bartercast
@@ -274,6 +427,8 @@ def run(full: bool = False, seed: int = 7, out: Path = None) -> dict:
     scalar = bench_scalar(svc, pairs)
     batch = bench_batch(svc, observers, list(stack.trace.peers))
     matrix = bench_matrix(svc, observers, list(stack.trace.peers))
+    sparse = bench_sparse(svc, observers, list(stack.trace.peers))
+    flow_rows = bench_flow_rows(seed)
     replicas = bench_replicas(seed)
 
     report = {
@@ -301,6 +456,8 @@ def run(full: bool = False, seed: int = 7, out: Path = None) -> dict:
         "scalar": scalar,
         "batch": batch,
         "matrix": matrix,
+        "sparse": sparse,
+        "flow_rows": flow_rows,
         "replicas": replicas,
     }
     out = out or REPO_ROOT / "BENCH_contribution.json"
@@ -338,9 +495,24 @@ def main(argv=None) -> int:
             f"warm/cold speedup {report['scalar']['speedup']:.2f}x "
             f"< required {args.min_speedup:.1f}x"
         )
+    sparse = report["sparse"]["paper_scale"]
+    if not sparse["matrices_bit_identical"]:
+        failures.append("sparse to_matrix diverged from dense")
+    if not sparse["flows_bit_identical"]:
+        failures.append("sparse 2-hop flows diverged from dense")
+    large = report["sparse"]["large_scale"]
+    if large["sparse_mirror_bytes"] * 100 > large["projected_dense_bytes"]:
+        failures.append(
+            f"sparse mirror at {large['nodes']} nodes holds "
+            f"{large['sparse_mirror_bytes']} bytes — not meaningfully "
+            f"under the {large['projected_dense_bytes']}-byte dense block"
+        )
     replicas = report["replicas"]
     if not replicas["bit_identical"]:
         failures.append("parallel run_many output diverged from sequential")
+    flow_rows = report["flow_rows"]
+    if not flow_rows["bit_identical"]:
+        failures.append("threaded flow-row recompute diverged from serial")
     if replicas["speedup_gate_active"]:
         if replicas["speedup"] < args.min_replica_speedup:
             failures.append(
@@ -348,10 +520,17 @@ def main(argv=None) -> int:
                 f"< required {args.min_replica_speedup:.1f}x "
                 f"on {replicas['cpu_count']} cores"
             )
+        if flow_rows["speedup"] < args.min_replica_speedup:
+            failures.append(
+                f"threaded flow-row speedup {flow_rows['speedup']:.2f}x "
+                f"< required {args.min_replica_speedup:.1f}x "
+                f"on {flow_rows['cpu_count']} cores"
+            )
     else:
         print(
-            "SKIP: replica speedup gate skipped — single-core runner "
-            f"(cpu_count={replicas['cpu_count']}); bit-identity still checked",
+            "SKIP: replica and flow-row speedup gates skipped — "
+            f"single-core runner (cpu_count={replicas['cpu_count']}); "
+            "bit-identity still checked",
             file=sys.stderr,
         )
     if failures:

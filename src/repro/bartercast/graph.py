@@ -6,11 +6,27 @@ v").  Conflicting statements about the same ordered pair are resolved
 by keeping the **maximum** reported value: totals are cumulative and
 monotone, so the largest figure is the freshest honest one, and an
 understating stale record can never erase credit.
+
+Two interchangeable **matrix backends** mirror the adjacency for the
+vectorised flow paths:
+
+* ``dense`` — an incrementally maintained ``n × n`` numpy weight
+  matrix (O(n²) memory; the fastest gather at paper scale);
+* ``sparse`` — CSR-style per-row index/value arrays over stable column
+  slots (O(E) memory; the only option for very large populations).
+
+``backend="auto"`` (the default) starts dense and converts to sparse
+once the node count crosses ``sparse_threshold``, so paper-scale runs
+keep the dense fast path while synthetic million-peer graphs never
+allocate the quadratic mirror.  Both backends store the *same floats
+in the same logical cells*, so every matrix product — ``to_matrix``,
+``matrix_rows``, ``matrix_column`` and the 2-hop flows built on them —
+is bit-identical across backends.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -18,6 +34,266 @@ from repro.bartercast.records import TransferRecord
 
 #: Initial dense-matrix capacity; grown by doubling as nodes appear.
 _MIN_MATRIX_CAPACITY = 16
+
+#: ``backend="auto"`` converts the dense mirror to sparse when the
+#: graph's node count first exceeds this.  Chosen so every workload in
+#: the paper (≤ a few hundred peers) stays on the dense fast path while
+#: a 10k+-node graph never allocates the O(n²) block.
+DEFAULT_SPARSE_THRESHOLD = 2048
+
+_BACKENDS = ("dense", "sparse", "auto")
+
+
+class _DenseMirror:
+    """Dense weight-matrix mirror: ``_W[_index[u], _index[v]]`` is
+    ``weight(u, v)``; slots are allocated on first appearance (capacity
+    doubles on demand) and compacted by swapping the last slot into the
+    hole on eviction."""
+
+    kind = "dense"
+
+    def __init__(self) -> None:
+        self._index: Dict[str, int] = {}
+        self._ids: List[str] = []
+        self._W = np.zeros((0, 0))
+
+    def node_count(self) -> int:
+        return len(self._ids)
+
+    def nbytes(self) -> int:
+        return int(self._W.nbytes)
+
+    def set(self, u: str, v: str, w: float) -> None:
+        ui = self._slot(u)
+        vi = self._slot(v)
+        self._W[ui, vi] = w
+
+    def _slot(self, node: str) -> int:
+        """Row/column index for ``node``, allocating (and growing the
+        matrix) on first appearance."""
+        i = self._index.get(node)
+        if i is not None:
+            return i
+        n = len(self._ids)
+        if n == self._W.shape[0]:
+            cap = max(_MIN_MATRIX_CAPACITY, 2 * self._W.shape[0])
+            grown = np.zeros((cap, cap))
+            grown[:n, :n] = self._W[:n, :n]
+            self._W = grown
+        self._index[node] = n
+        self._ids.append(node)
+        return n
+
+    def drop(self, node: str) -> None:
+        """Free ``node``'s slot, compacting by moving the last slot
+        into the hole so the active block stays contiguous."""
+        i = self._index.pop(node, None)
+        if i is None:
+            return
+        last = len(self._ids) - 1
+        if i != last:
+            last_id = self._ids[last]
+            n = last + 1
+            # Row first, then column: the column copy re-reads the one
+            # overlapping cell (the new diagonal) from the copied row,
+            # which holds the old diagonal of ``last`` — always 0.
+            self._W[i, :n] = self._W[last, :n]
+            self._W[:n, i] = self._W[:n, last]
+            self._index[last_id] = i
+            self._ids[i] = last_id
+        self._W[last, :] = 0.0
+        self._W[:, last] = 0.0
+        self._ids.pop()
+
+    def _selection(self, ids: Sequence[str]) -> np.ndarray:
+        return np.fromiter(
+            (self._index.get(p, -1) for p in ids), dtype=np.intp, count=len(ids)
+        )
+
+    def to_matrix(self, order: Sequence[str]) -> np.ndarray:
+        ids = list(order)
+        n = len(ids)
+        mat = np.zeros((n, n))
+        if n == 0 or not self._ids:
+            return mat
+        sel = self._selection(ids)
+        known = np.flatnonzero(sel >= 0)
+        if known.size:
+            ksel = sel[known]
+            mat[np.ix_(known, known)] = self._W[np.ix_(ksel, ksel)]
+        return mat
+
+    def matrix_rows(self, row_ids: Sequence[str], order: Sequence[str]) -> np.ndarray:
+        rows = list(row_ids)
+        ids = list(order)
+        block = np.zeros((len(rows), len(ids)))
+        if not rows or not ids or not self._ids:
+            return block
+        rsel = self._selection(rows)
+        csel = self._selection(ids)
+        rknown = np.flatnonzero(rsel >= 0)
+        cknown = np.flatnonzero(csel >= 0)
+        if rknown.size and cknown.size:
+            block[np.ix_(rknown, cknown)] = self._W[
+                np.ix_(rsel[rknown], csel[cknown])
+            ]
+        return block
+
+    def matrix_column(self, order: Sequence[str], sink: str) -> np.ndarray:
+        ids = list(order)
+        col = np.zeros(len(ids))
+        t = self._index.get(sink)
+        if t is None or not ids:
+            return col
+        sel = self._selection(ids)
+        known = np.flatnonzero(sel >= 0)
+        if known.size:
+            col[known] = self._W[sel[known], t]
+        return col
+
+    def dense(self) -> Tuple[List[str], np.ndarray]:
+        n = len(self._ids)
+        view = self._W[:n, :n]
+        view.setflags(write=False)
+        return list(self._ids), view
+
+
+class _SparseMirror:
+    """CSR-style sparse mirror: per-row ``{column-slot: weight}`` dicts
+    with lazily materialised ``(cols, vals)`` numpy arrays per row.
+
+    Column slots are **stable** — freed slots go on a free list instead
+    of being renumbered — so cached row arrays survive unrelated
+    evictions; an in-slot index (``column slot → referencing row
+    slots``) makes dropping a node O(degree) instead of a full scan.
+    Memory is O(E), never O(n²)."""
+
+    kind = "sparse"
+
+    def __init__(self) -> None:
+        self._index: Dict[str, int] = {}
+        self._rows: Dict[int, Dict[int, float]] = {}
+        self._in: Dict[int, Set[int]] = {}
+        self._row_arrays: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._free: List[int] = []
+        self._high_slot = 0
+
+    def node_count(self) -> int:
+        return len(self._index)
+
+    def nnz(self) -> int:
+        return sum(len(r) for r in self._rows.values())
+
+    def nbytes(self) -> int:
+        """Rough payload size: 8-byte slot key + 8-byte float per
+        stored edge, twice (row + in-index) — dict overhead excluded,
+        which is what makes the dense/sparse comparison conservative."""
+        return 32 * self.nnz()
+
+    def _slot(self, node: str) -> int:
+        i = self._index.get(node)
+        if i is not None:
+            return i
+        i = self._free.pop() if self._free else self._high_slot
+        if i == self._high_slot:
+            self._high_slot += 1
+        self._index[node] = i
+        return i
+
+    def set(self, u: str, v: str, w: float) -> None:
+        ui = self._slot(u)
+        vi = self._slot(v)
+        self._rows.setdefault(ui, {})[vi] = w
+        self._in.setdefault(vi, set()).add(ui)
+        self._row_arrays.pop(ui, None)
+
+    def drop(self, node: str) -> None:
+        i = self._index.pop(node, None)
+        if i is None:
+            return
+        row = self._rows.pop(i, None)
+        if row:
+            for vi in row:
+                refs = self._in.get(vi)
+                if refs is not None:
+                    refs.discard(i)
+                    if not refs:
+                        del self._in[vi]
+        self._row_arrays.pop(i, None)
+        for ri in self._in.pop(i, ()):
+            other = self._rows.get(ri)
+            if other is not None:
+                other.pop(i, None)
+            self._row_arrays.pop(ri, None)
+        self._free.append(i)
+
+    def _arrays(self, slot: int) -> Tuple[np.ndarray, np.ndarray]:
+        cached = self._row_arrays.get(slot)
+        if cached is not None:
+            return cached
+        row = self._rows.get(slot, {})
+        k = len(row)
+        cols = np.fromiter(row.keys(), dtype=np.intp, count=k)
+        vals = np.fromiter(row.values(), dtype=float, count=k)
+        self._row_arrays[slot] = (cols, vals)
+        return cols, vals
+
+    def _colmap(self, ids: Sequence[str]) -> np.ndarray:
+        """slot → position-in-``ids`` translation (−1 = not requested)."""
+        colmap = np.full(max(1, self._high_slot), -1, dtype=np.intp)
+        for pos, pid in enumerate(ids):
+            slot = self._index.get(pid)
+            if slot is not None:
+                colmap[slot] = pos
+        return colmap
+
+    def _scatter_rows(
+        self, out: np.ndarray, row_ids: Sequence[str], colmap: np.ndarray
+    ) -> None:
+        for pos, pid in enumerate(row_ids):
+            slot = self._index.get(pid)
+            if slot is None:
+                continue
+            cols, vals = self._arrays(slot)
+            if not cols.size:
+                continue
+            cpos = colmap[cols]
+            keep = cpos >= 0
+            out[pos, cpos[keep]] = vals[keep]
+
+    def to_matrix(self, order: Sequence[str]) -> np.ndarray:
+        ids = list(order)
+        mat = np.zeros((len(ids), len(ids)))
+        if ids and self._index:
+            self._scatter_rows(mat, ids, self._colmap(ids))
+        return mat
+
+    def matrix_rows(self, row_ids: Sequence[str], order: Sequence[str]) -> np.ndarray:
+        rows = list(row_ids)
+        ids = list(order)
+        block = np.zeros((len(rows), len(ids)))
+        if rows and ids and self._index:
+            self._scatter_rows(block, rows, self._colmap(ids))
+        return block
+
+    def matrix_column(self, order: Sequence[str], sink: str) -> np.ndarray:
+        ids = list(order)
+        col = np.zeros(len(ids))
+        t = self._index.get(sink)
+        if t is None or not ids:
+            return col
+        colmap = self._colmap(ids)
+        for ri in self._in.get(t, ()):
+            pos = colmap[ri]
+            if pos >= 0:
+                col[pos] = self._rows[ri][t]
+        return col
+
+    def dense(self) -> Tuple[List[str], np.ndarray]:
+        ids = list(self._index)
+        mat = self.to_matrix(ids)
+        mat.setflags(write=False)
+        return ids, mat
 
 
 class SubjectiveGraph:
@@ -44,32 +320,41 @@ class SubjectiveGraph:
     change anywhere).  Counters are monotone and survive node eviction,
     so a re-added node can never resurrect a stale cache entry.
 
-    Alongside the dict-of-dict adjacency the graph maintains an
-    **incrementally updated dense weight matrix**: every node gets a
-    row/column slot on first appearance (capacity doubles on demand),
-    edge raises write the new weight in place, and eviction compacts by
-    swapping the last slot into the vacated one.  :meth:`to_matrix` is
-    therefore a pure numpy gather instead of an O(E) Python rebuild —
-    the batch contribution oracle and the CEV metric read it on every
-    sample.
+    Alongside the dict-of-dict adjacency (out- and in-directions are
+    both indexed) the graph maintains an incrementally updated
+    **matrix mirror** — dense or sparse, see the module docstring — so
+    :meth:`to_matrix` and the row/column accessors the flow paths use
+    are numpy gathers/scatters instead of O(E) Python rebuilds.
     """
 
-    def __init__(self, owner: str, max_nodes: int = 0):
+    def __init__(
+        self,
+        owner: str,
+        max_nodes: int = 0,
+        backend: str = "auto",
+        sparse_threshold: int = DEFAULT_SPARSE_THRESHOLD,
+    ):
         if max_nodes < 0:
             raise ValueError("max_nodes must be >= 0 (0 = unbounded)")
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}")
+        if sparse_threshold < 0:
+            raise ValueError("sparse_threshold must be >= 0")
         self.owner = owner
         self.max_nodes = max_nodes
+        self.backend = backend
+        self.sparse_threshold = sparse_threshold
         self._out: Dict[str, Dict[str, float]] = {}
+        #: in-adjacency mirror of ``_out`` (``{v: {u: weight}}``);
+        #: entries are removed when the inner dict empties, so its key
+        #: set is exactly "nodes with at least one in-edge".
+        self._in_adj: Dict[str, Dict[str, float]] = {}
         self.records_folded = 0
         self.evicted = 0
         self._out_version: Dict[str, int] = {}
         self._in_version: Dict[str, int] = {}
         self._version = 0
-        #: dense mirror of the adjacency: ``_W[_index[u], _index[v]]``
-        #: is ``weight(u, v)`` for every node that ever got an edge.
-        self._index: Dict[str, int] = {}
-        self._ids: List[str] = []
-        self._W = np.zeros((0, 0))
+        self._mirror = _SparseMirror() if backend == "sparse" else _DenseMirror()
 
     # ------------------------------------------------------------------
     def add_record(self, record: TransferRecord) -> bool:
@@ -89,52 +374,38 @@ class SubjectiveGraph:
     def _raise_edge(self, u: str, v: str, w: float) -> None:
         if w <= 0 or u == v:
             return
-        row = self._out.setdefault(u, {})
-        if w > row.get(v, 0.0):
-            row[v] = w
-            ui = self._slot(u)
-            vi = self._slot(v)
-            self._W[ui, vi] = w
-            self._bump(u, v)
-        if self.max_nodes:
+        row = self._out.get(u)
+        if row is not None and w <= row.get(v, 0.0):
+            # Stale or equal refold: nothing changed — no version bump
+            # and, crucially, no bound-enforcement scan (duplicate
+            # gossip records used to pay an O(E) scan here).
+            return
+        added = self.max_nodes and (
+            not self._has_node(u) or not self._has_node(v)
+        )
+        if row is None:
+            row = self._out[u] = {}
+        row[v] = w
+        self._in_adj.setdefault(v, {})[u] = w
+        self._mirror.set(u, v, w)
+        self._bump(u, v)
+        if self.backend == "auto" and self._mirror.kind == "dense":
+            if self._mirror.node_count() > self.sparse_threshold:
+                self._convert_to_sparse()
+        if added:
             self._enforce_node_bound()
 
-    def _slot(self, node: str) -> int:
-        """Dense-matrix row/column index for ``node``, allocating (and
-        growing the matrix) on first appearance."""
-        i = self._index.get(node)
-        if i is not None:
-            return i
-        n = len(self._ids)
-        if n == self._W.shape[0]:
-            cap = max(_MIN_MATRIX_CAPACITY, 2 * self._W.shape[0])
-            grown = np.zeros((cap, cap))
-            grown[:n, :n] = self._W[:n, :n]
-            self._W = grown
-        self._index[node] = n
-        self._ids.append(node)
-        return n
+    def _has_node(self, node: str) -> bool:
+        return node in self._out or node in self._in_adj
 
-    def _drop_slot(self, node: str) -> None:
-        """Free ``node``'s dense slot, compacting by moving the last
-        slot into the hole so the active block stays contiguous."""
-        i = self._index.pop(node, None)
-        if i is None:
-            return
-        last = len(self._ids) - 1
-        if i != last:
-            last_id = self._ids[last]
-            n = last + 1
-            # Row first, then column: the column copy re-reads the one
-            # overlapping cell (the new diagonal) from the copied row,
-            # which holds the old diagonal of ``last`` — always 0.
-            self._W[i, :n] = self._W[last, :n]
-            self._W[:n, i] = self._W[:n, last]
-            self._index[last_id] = i
-            self._ids[i] = last_id
-        self._W[last, :] = 0.0
-        self._W[:, last] = 0.0
-        self._ids.pop()
+    def _convert_to_sparse(self) -> None:
+        """One-time ``auto`` backend switch: rebuild the mirror as
+        sparse from the adjacency and drop the dense block."""
+        mirror = _SparseMirror()
+        for u, row in self._out.items():
+            for v, w in row.items():
+                mirror.set(u, v, w)
+        self._mirror = mirror
 
     def _bump(self, u: str, v: str) -> None:
         """Record a change to edge ``(u, v)`` in the version counters."""
@@ -144,37 +415,73 @@ class SubjectiveGraph:
 
     def _enforce_node_bound(self) -> None:
         nodes = self.nodes()
+        if len(nodes) <= self.max_nodes:
+            return
+        # Owner and its direct neighbours carry the flows that matter —
+        # evict the weakest stranger.  The protected set is computed
+        # once: a victim has no owner-incident edge by definition, so
+        # removing it can never change who is protected.
+        protected = {self.owner}
+        protected.update(self._out.get(self.owner, ()))
+        protected.update(self._in_adj.get(self.owner, ()))
+        # Total touched weight per node, computed once and maintained
+        # incrementally across evictions (the per-victim O(E) rebuild
+        # was quadratic under bound thrash).
+        weight_of: Dict[str, float] = {n: 0.0 for n in nodes}
+        for u, row in self._out.items():
+            for v, w in row.items():
+                weight_of[u] = weight_of.get(u, 0.0) + w
+                weight_of[v] = weight_of.get(v, 0.0) + w
         while len(nodes) > self.max_nodes:
-            # Total touched weight per node; owner and its direct
-            # neighbours carry the flows that matter — evict the
-            # weakest stranger.
-            protected = {self.owner}
-            protected.update(self._out.get(self.owner, ()))
-            for u, row in self._out.items():
-                if self.owner in row:
-                    protected.add(u)
-            weight_of: Dict[str, float] = {n: 0.0 for n in nodes}
-            for u, row in self._out.items():
-                for v, w in row.items():
-                    weight_of[u] = weight_of.get(u, 0.0) + w
-                    weight_of[v] = weight_of.get(v, 0.0) + w
             candidates = [n for n in nodes if n not in protected]
             if not candidates:
                 break
             victim = min(candidates, key=lambda n: (weight_of.get(n, 0.0), n))
+            out_edges = list(self._out.get(victim, {}).items())
+            in_edges = list(self._in_adj.get(victim, {}).items())
             self._remove_node(victim)
-            nodes = self.nodes()
             self.evicted += 1
+            nodes.discard(victim)
+            weight_of.pop(victim, None)
+            for v, w in out_edges:
+                if self._has_node(v):
+                    weight_of[v] = weight_of.get(v, 0.0) - w
+                else:
+                    # v's only presence was as the victim's target —
+                    # it leaves the node set entirely.
+                    nodes.discard(v)
+                    weight_of.pop(v, None)
+            for u, w in in_edges:
+                # In-neighbours keep their (possibly empty) out-row and
+                # therefore always stay in the node set.
+                weight_of[u] = weight_of.get(u, 0.0) - w
 
     def _remove_node(self, node: str) -> None:
         removed_out = self._out.pop(node, None)
         if removed_out:
             for v in removed_out:
+                inrow = self._in_adj.get(v)
+                if inrow is not None:
+                    inrow.pop(node, None)
+                    if not inrow:
+                        del self._in_adj[v]
+                        if v not in self._out:
+                            # v's only presence was as this node's
+                            # target — it leaves the graph, so free its
+                            # mirror slot too (otherwise eviction
+                            # thrash leaks one slot per orphan).
+                            self._mirror.drop(v)
                 self._bump(node, v)
-        for u, row in self._out.items():
-            if row.pop(node, None) is not None:
+        removed_in = self._in_adj.pop(node, None)
+        if removed_in:
+            for u in removed_in:
+                urow = self._out.get(u)
+                if urow is not None:
+                    # The row may empty out; it stays registered so the
+                    # node remains part of the graph (and of the bound).
+                    urow.pop(node, None)
                 self._bump(u, node)
-        self._drop_slot(node)
+        self._mirror.drop(node)
 
     # ------------------------------------------------------------------
     # Version counters (cache-invalidation keys)
@@ -200,11 +507,12 @@ class SubjectiveGraph:
         """Copy of ``{v: weight}`` for edges out of ``u``."""
         return dict(self._out.get(u, {}))
 
+    def predecessors(self, v: str) -> Dict[str, float]:
+        """Copy of ``{u: weight}`` for edges into ``v``."""
+        return dict(self._in_adj.get(v, {}))
+
     def nodes(self) -> Set[str]:
-        out: Set[str] = set(self._out.keys())
-        for row in self._out.values():
-            out.update(row.keys())
-        return out
+        return set(self._out) | set(self._in_adj)
 
     def edges(self) -> List[Tuple[str, str, float]]:
         return [(u, v, w) for u, row in self._out.items() for v, w in row.items()]
@@ -213,40 +521,70 @@ class SubjectiveGraph:
         return sum(len(row) for row in self._out.values())
 
     # ------------------------------------------------------------------
+    @property
+    def matrix_backend(self) -> str:
+        """The mirror currently in use: ``"dense"`` or ``"sparse"``
+        (``backend="auto"`` reports whichever side of the threshold the
+        graph is on)."""
+        return self._mirror.kind
+
+    def matrix_nbytes(self) -> int:
+        """Approximate bytes held by the matrix mirror (the dense
+        block's allocation, or the sparse payload estimate)."""
+        return self._mirror.nbytes()
+
     def to_matrix(self, order: Iterable[str]) -> np.ndarray:
         """Dense weight matrix in the given node order (metrics use —
         vectorised CEV computation needs all flows at once).
 
-        Served as a numpy gather from the incrementally maintained
-        internal matrix: nodes unknown to the graph get zero rows and
-        columns, known nodes are permuted into the requested order.
-        Values are identical to a fresh edge-by-edge rebuild (placement
-        only, no arithmetic)."""
-        ids = list(order)
-        n = len(ids)
-        mat = np.zeros((n, n))
-        if n == 0 or not self._ids:
-            return mat
-        index = self._index
-        sel = np.fromiter(
-            (index.get(p, -1) for p in ids), dtype=np.intp, count=n
-        )
-        known = np.flatnonzero(sel >= 0)
-        if known.size:
-            ksel = sel[known]
-            mat[np.ix_(known, known)] = self._W[np.ix_(ksel, ksel)]
-        return mat
+        Nodes unknown to the graph get zero rows and columns; known
+        nodes are permuted into the requested order.  Values are
+        identical to a fresh edge-by-edge rebuild regardless of the
+        backend (placement only, no arithmetic).  The returned array is
+        freshly allocated and the caller's to mutate."""
+        return self._mirror.to_matrix(list(order))
+
+    def matrix_rows(
+        self, row_ids: Sequence[str], order: Sequence[str]
+    ) -> np.ndarray:
+        """Dense ``(len(row_ids), len(order))`` block of the rows for
+        ``row_ids`` in column order ``order`` — the chunked sparse flow
+        path uses this to bound peak memory at O(chunk · n)."""
+        return self._mirror.matrix_rows(list(row_ids), list(order))
+
+    def matrix_column(self, order: Sequence[str], sink: str) -> np.ndarray:
+        """``weight(u, sink)`` for every ``u`` in ``order`` as a dense
+        vector (zero for unknown nodes)."""
+        return self._mirror.matrix_column(list(order), sink)
 
     def dense(self) -> Tuple[List[str], np.ndarray]:
-        """The internal node order and the active dense block.
+        """The internal node order and the full weight matrix.
 
-        The array is a **read-only view** of live storage — callers
-        needing to mutate must copy.  Mainly for diagnostics and tests;
-        metrics go through :meth:`to_matrix` for a stable order."""
-        n = len(self._ids)
-        view = self._W[:n, :n]
-        view.setflags(write=False)
-        return list(self._ids), view
+        The array is **read-only**: under the dense backend it is a
+        view of live storage, under the sparse backend a materialised
+        O(n²) snapshot — callers needing to mutate must copy.  Mainly
+        for diagnostics and tests; metrics go through :meth:`to_matrix`
+        for a stable order."""
+        return self._mirror.dense()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SubjectiveGraph(owner={self.owner!r}, edges={self.num_edges()})"
+        return (
+            f"SubjectiveGraph(owner={self.owner!r}, edges={self.num_edges()}, "
+            f"backend={self.matrix_backend})"
+        )
+
+
+class ReadOnlySubjectiveGraph(SubjectiveGraph):
+    """An immutable, permanently empty graph.
+
+    :meth:`BarterCastService.graph_of` hands a shared instance to
+    callers probing peers the service has never seen, so metric sweeps
+    over the full trace population do not materialise per-peer state.
+    Any mutation attempt raises instead of silently poisoning the
+    shared sentinel."""
+
+    def _raise_edge(self, u: str, v: str, w: float) -> None:
+        raise TypeError(
+            "this graph is a shared read-only sentinel for an unseen "
+            "peer; it cannot be mutated"
+        )

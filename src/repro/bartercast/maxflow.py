@@ -22,6 +22,10 @@ import numpy as np
 
 from repro.bartercast.graph import SubjectiveGraph
 
+#: Row-block size for the sparse-backend batch flow evaluation: peak
+#: extra memory is ``chunk · n`` floats instead of the dense ``n²``.
+_SPARSE_FLOW_CHUNK = 256
+
 
 def two_hop_flow(graph: SubjectiveGraph, source: str, sink: str) -> float:
     """Max flow from ``source`` to ``sink`` over paths of ≤ 2 edges.
@@ -55,15 +59,48 @@ def two_hop_flows_to_sink(
     counted and ``k = s`` never contributes.  Intermediates range over
     *all* graph nodes, exactly as in :func:`two_hop_flow`; the node
     order is sorted so results are reproducible across processes.
+
+    Under the sparse graph backend the same formula is evaluated over
+    chunked dense *row blocks* (sources only) against the sink's dense
+    column, so no full ``n × n`` matrix is ever materialised.  The
+    per-row reduction is identical either way — numpy's pairwise sum
+    over one row does not depend on the other rows — so the two paths
+    are **bit-identical** (gated in ``make bench-smoke``).
     """
     ids = sorted(graph.nodes() | {sink} | set(sources))
     idx = {p: i for i, p in enumerate(ids)}
-    W = graph.to_matrix(ids)
     t = idx[sink]
+    if graph.matrix_backend == "sparse":
+        return _two_hop_flows_sparse(graph, list(sources), sink, ids, idx, t)
+    W = graph.to_matrix(ids)
     col = W[:, t]
     flows = col + np.minimum(W, col[None, :]).sum(axis=1)
     flows[t] = 0.0
     return flows[[idx[s] for s in sources]]
+
+
+def _two_hop_flows_sparse(
+    graph: SubjectiveGraph,
+    sources: Sequence[str],
+    sink: str,
+    ids: Sequence[str],
+    idx: Dict[str, int],
+    t: int,
+) -> np.ndarray:
+    """Chunked evaluation of the 2-hop closed form for sparse graphs:
+    O(chunk · n) peak memory, bit-identical to the dense path."""
+    n_src = len(sources)
+    col = graph.matrix_column(ids, sink)
+    spos = np.fromiter((idx[s] for s in sources), dtype=np.intp, count=n_src)
+    flows = np.empty(n_src, dtype=float)
+    for start in range(0, n_src, _SPARSE_FLOW_CHUNK):
+        stop = min(start + _SPARSE_FLOW_CHUNK, n_src)
+        block = graph.matrix_rows(sources[start:stop], ids)
+        flows[start:stop] = col[spos[start:stop]] + np.minimum(
+            block, col[None, :]
+        ).sum(axis=1)
+    flows[spos == t] = 0.0
+    return flows
 
 
 def edmonds_karp(

@@ -26,7 +26,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.bartercast.graph import SubjectiveGraph
+from repro.bartercast.graph import (
+    DEFAULT_SPARSE_THRESHOLD,
+    ReadOnlySubjectiveGraph,
+    SubjectiveGraph,
+)
 from repro.bartercast.maxflow import edmonds_karp, two_hop_flow, two_hop_flows_to_sink
 from repro.bartercast.records import TransferRecord
 from repro.pss.base import PeerSamplingService
@@ -54,6 +58,15 @@ class BarterCastConfig:
     #: node gossiping with millions of peers holds O(bound) entries;
     #: evictions are counted in :meth:`BarterCastService.cache_stats`.
     contrib_cache_entries: int = 0
+    #: Matrix mirror for each node's subjective graph: ``"dense"``
+    #: (O(n²) memory, fastest gather at paper scale), ``"sparse"``
+    #: (CSR-style, O(E) memory) or ``"auto"`` (dense until the node
+    #: count crosses ``sparse_graph_threshold``, then sparse).  Flow
+    #: results are bit-identical across backends.
+    graph_backend: str = "auto"
+    #: Node count at which ``graph_backend="auto"`` converts a graph's
+    #: mirror from dense to sparse.
+    sparse_graph_threshold: int = DEFAULT_SPARSE_THRESHOLD
 
     def __post_init__(self) -> None:
         if self.max_records_per_exchange < 1:
@@ -64,6 +77,17 @@ class BarterCastConfig:
             raise ValueError("max_graph_nodes must be >= 0")
         if self.contrib_cache_entries < 0:
             raise ValueError("contrib_cache_entries must be >= 0")
+        if self.graph_backend not in ("dense", "sparse", "auto"):
+            raise ValueError("graph_backend must be dense, sparse or auto")
+        if self.sparse_graph_threshold < 0:
+            raise ValueError("sparse_graph_threshold must be >= 0")
+
+
+#: Shared sentinel handed out by :meth:`BarterCastService.graph_of`
+#: for peers the service has never seen.  Immutable (mutations raise),
+#: permanently empty, ``version == 0`` — exactly what a fresh graph
+#: would answer, without the allocation.
+_EMPTY_GRAPH = ReadOnlySubjectiveGraph("", backend="dense")
 
 
 class _NodeState:
@@ -76,10 +100,21 @@ class _NodeState:
         "batch_cache",
     )
 
-    def __init__(self, owner: str, max_graph_nodes: int = 0):
+    def __init__(
+        self,
+        owner: str,
+        max_graph_nodes: int = 0,
+        graph_backend: str = "auto",
+        sparse_graph_threshold: int = DEFAULT_SPARSE_THRESHOLD,
+    ):
         #: partner -> (up_total, down_total, last_update)
         self.direct: Dict[str, List[float]] = {}
-        self.graph = SubjectiveGraph(owner, max_nodes=max_graph_nodes)
+        self.graph = SubjectiveGraph(
+            owner,
+            max_nodes=max_graph_nodes,
+            backend=graph_backend,
+            sparse_threshold=sparse_graph_threshold,
+        )
         #: bumped on every direct-table mutation (invalidates the
         #: cached top-K record list below)
         self.direct_version = 0
@@ -115,11 +150,26 @@ class BarterCastService:
         self.records_cache_misses = 0
 
     def _state(self, peer_id: str) -> _NodeState:
+        """The peer's state, **materialising** it on first access —
+        write paths only.  Read paths (:meth:`graph_of`,
+        :meth:`contribution`, :meth:`contributions_to_observer`) use
+        :meth:`_peek` so probing never-seen peers stays free."""
         st = self._nodes.get(peer_id)
         if st is None:
-            st = _NodeState(peer_id, self.config.max_graph_nodes)
+            cfg = self.config
+            st = _NodeState(
+                peer_id,
+                cfg.max_graph_nodes,
+                cfg.graph_backend,
+                cfg.sparse_graph_threshold,
+            )
             self._nodes[peer_id] = st
         return st
+
+    def _peek(self, peer_id: str) -> Optional[_NodeState]:
+        """The peer's state if the service has ever seen it, else
+        ``None`` — never materialises."""
+        return self._nodes.get(peer_id)
 
     # ------------------------------------------------------------------
     # Local observation (wired to the transfer ledger)
@@ -217,7 +267,12 @@ class BarterCastService:
         endpoint's version."""
         if observer == subject:
             return 0.0
-        st = self._state(observer)
+        st = self._peek(observer)
+        if st is None:
+            # Read path: an observer the service has never seen has an
+            # empty graph, so every flow is exactly 0 — answer without
+            # materialising state or touching cache telemetry.
+            return 0.0
         graph = st.graph
         if self.config.max_hops != 2:
             self.cache_bypasses += 1
@@ -257,9 +312,14 @@ class BarterCastService:
         ``(graph.version, subjects)``, so repeated metric probes or
         re-screens over an unchanged graph are O(1).  Values agree with
         :func:`two_hop_flow` up to float summation order.  Non-2-hop
-        configurations fall back to per-pair bounded maxflow."""
+        configurations fall back to per-pair bounded maxflow.  Probing
+        a never-seen observer returns zeros without materialising state
+        or touching telemetry (metric sweeps over the full trace
+        population must leave the service untouched)."""
         subjects = list(subjects)
-        st = self._state(observer)
+        st = self._peek(observer)
+        if st is None:
+            return np.zeros(len(subjects), dtype=float)
         graph = st.graph
         if self.config.max_hops != 2:
             return np.array(
@@ -310,5 +370,14 @@ class BarterCastService:
             st.records_cache = None
 
     def graph_of(self, peer_id: str) -> SubjectiveGraph:
-        """The node's subjective graph (read-mostly; metrics use)."""
-        return self._state(peer_id).graph
+        """The node's subjective graph (read path; metrics use).
+
+        For a peer the service has never seen, a **shared read-only
+        empty graph** is returned instead of materialising fresh state
+        — probing the full trace population must not grow ``_nodes``.
+        The sentinel raises on any mutation attempt; write paths go
+        through :meth:`local_transfer` / :meth:`inject_record`."""
+        st = self._peek(peer_id)
+        if st is None:
+            return _EMPTY_GRAPH
+        return st.graph

@@ -68,6 +68,14 @@ class RuntimeConfig:
     #: (LRU bound on per-node contribution caches; 0 = unbounded).
     #: When set it overrides the value in ``bartercast``.
     contrib_cache_entries: Optional[int] = None
+    #: Convenience mirror of ``BarterCastConfig.graph_backend``
+    #: (``"dense"`` / ``"sparse"`` / ``"auto"`` matrix mirror for every
+    #: subjective graph).  When set it overrides ``bartercast``.
+    graph_backend: Optional[str] = None
+    #: Convenience mirror of ``BarterCastConfig.sparse_graph_threshold``
+    #: (node count at which ``"auto"`` graphs switch to the sparse
+    #: mirror).  When set it overrides ``bartercast``.
+    sparse_graph_threshold: Optional[int] = None
     #: Probability that any protocol exchange fails (connection reset,
     #: NAT timeout, …) beyond what churn already causes.  Failure
     #: injection for robustness tests; 0 in the paper's experiments.
@@ -91,6 +99,14 @@ class RuntimeConfig:
             raise ValueError("vote_fanout must be >= 1")
         if self.contrib_cache_entries is not None and self.contrib_cache_entries < 0:
             raise ValueError("contrib_cache_entries must be >= 0")
+        if self.graph_backend is not None and self.graph_backend not in (
+            "dense",
+            "sparse",
+            "auto",
+        ):
+            raise ValueError("graph_backend must be dense, sparse or auto")
+        if self.sparse_graph_threshold is not None and self.sparse_graph_threshold < 0:
+            raise ValueError("sparse_graph_threshold must be >= 0")
 
 
 NodeFactory = Callable[[str], VoteSamplingNode]
@@ -127,11 +143,15 @@ class ProtocolRuntime:
             self.pss = OraclePSS(self.registry, rng.stream("pss"))
 
         bartercast_config = self.config.bartercast
+        overrides: Dict[str, object] = {}
         if self.config.contrib_cache_entries is not None:
-            bartercast_config = replace(
-                bartercast_config,
-                contrib_cache_entries=self.config.contrib_cache_entries,
-            )
+            overrides["contrib_cache_entries"] = self.config.contrib_cache_entries
+        if self.config.graph_backend is not None:
+            overrides["graph_backend"] = self.config.graph_backend
+        if self.config.sparse_graph_threshold is not None:
+            overrides["sparse_graph_threshold"] = self.config.sparse_graph_threshold
+        if overrides:
+            bartercast_config = replace(bartercast_config, **overrides)
         self.bartercast = BarterCastService(self.pss, bartercast_config)
         session.ledger.add_listener(self.bartercast.local_transfer)
 

@@ -29,6 +29,7 @@ from repro.experiments.vote_sampling import (
     VoteSamplingConfig,
     VoteSamplingExperiment,
 )
+from repro.core.runtime import RuntimeConfig
 from repro.sim.parallel import ReplicaPool
 from repro.sim.units import DAY
 from repro.traces.generator import TraceGeneratorConfig
@@ -38,9 +39,23 @@ def _quick_trace(duration: float) -> TraceGeneratorConfig:
     return TraceGeneratorConfig(n_peers=50, n_swarms=6, duration=duration)
 
 
+def _runtime_overrides(args) -> "RuntimeConfig | None":
+    """A RuntimeConfig carrying the CLI's BarterCast knobs, or None
+    when every knob is at its default (keeping configs bit-identical
+    to the pre-flag code path)."""
+    if args.graph_backend is None:
+        return None
+    return RuntimeConfig(graph_backend=args.graph_backend)
+
+
 def run_fig5(args) -> None:
     duration = 1 * DAY if args.quick else 7 * DAY
-    cfg = ExperienceFormationConfig(seed=args.seed, duration=duration)
+    cfg = ExperienceFormationConfig(
+        seed=args.seed,
+        duration=duration,
+        runtime=_runtime_overrides(args),
+        flow_jobs=None if args.flow_jobs == 0 else args.flow_jobs,
+    )
     if args.quick:
         cfg.trace = _quick_trace(duration)
     print(f"[fig5] experience formation, duration={duration / DAY:g}d …")
@@ -53,6 +68,14 @@ def run_fig5(args) -> None:
 def run_fig6(args) -> None:
     duration = 1.5 * DAY if args.quick else 7 * DAY
     cfg = VoteSamplingConfig(seed=args.seed, duration=duration)
+    if args.graph_backend is not None:
+        # Mirror the experiment's own defaults, adding only the
+        # requested backend override.
+        cfg.runtime = RuntimeConfig(
+            node=cfg.node,
+            experience_threshold=cfg.experience_threshold,
+            graph_backend=args.graph_backend,
+        )
     if args.quick:
         cfg.trace = _quick_trace(duration)
     exp = VoteSamplingExperiment(cfg)
@@ -139,6 +162,21 @@ def main(argv=None) -> int:
         nargs="+",
         default=[30, 60],
         help="fig8 flash-crowd sizes",
+    )
+    parser.add_argument(
+        "--graph-backend",
+        choices=["auto", "dense", "sparse"],
+        default=None,
+        help="subjective-graph matrix backend (default: the service's "
+        "auto setting — dense at paper scale, sparse past the "
+        "node-count threshold)",
+    )
+    parser.add_argument(
+        "--flow-jobs",
+        type=int,
+        default=1,
+        help="threads for the fig5 flow-matrix row recompute "
+        "(0 = one per CPU; results are bit-identical at any value)",
     )
     args = parser.parse_args(argv)
     if args.figure in ("fig5", "all"):

@@ -39,12 +39,18 @@ class ExperienceFormationConfig:
     sample_interval: float = 3600.0
     trace: TraceGeneratorConfig = field(default_factory=TraceGeneratorConfig)
     runtime: Optional[RuntimeConfig] = None
+    #: Thread count for the flow-matrix changed-row recompute (1 =
+    #: serial, ``None`` = one per CPU).  Any value yields bit-identical
+    #: CEV curves; see :class:`~repro.metrics.cev.FlowMatrixCache`.
+    flow_jobs: Optional[int] = 1
 
     def __post_init__(self) -> None:
         if not self.thresholds:
             raise ValueError("need at least one threshold")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if self.flow_jobs is not None and self.flow_jobs < 1:
+            raise ValueError("flow_jobs must be >= 1 (or None for auto)")
 
 
 class ExperienceFormationExperiment:
@@ -76,7 +82,9 @@ class ExperienceFormationExperiment:
         # One incremental flow-matrix cache shared by every sample:
         # only observers whose graph changed since the previous sample
         # cost a row recompute.
-        flow_cache = FlowMatrixCache(stack.runtime.bartercast, peers)
+        flow_cache = FlowMatrixCache(
+            stack.runtime.bartercast, peers, jobs=cfg.flow_jobs
+        )
 
         def probe():
             cev = collective_experience_value(
@@ -96,5 +104,6 @@ class ExperienceFormationExperiment:
             "total_transfer_mb": stack.session.ledger.total_bytes / MB,
             "flow_rows_recomputed": flow_cache.rows_recomputed,
             "flow_rows_reused": flow_cache.rows_reused,
+            "flow_jobs": cfg.flow_jobs,
         }
         return result

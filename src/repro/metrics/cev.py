@@ -19,11 +19,14 @@ for every threshold ``T`` simultaneously (Fig 5 plots several).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.bartercast.maxflow import two_hop_flows_to_sink
 from repro.bartercast.protocol import BarterCastService
+from repro.sim.parallel import resolve_worker_count
 
 
 def flows_to_observer(
@@ -52,11 +55,32 @@ class FlowMatrixCache:
     reused verbatim, so the result is bit-identical to a full
     recompute.  ``rows_recomputed`` / ``rows_reused`` expose the split
     for telemetry and tests.
+
+    ``jobs`` parallelises the changed-row recompute over a **thread
+    pool** (numpy releases the GIL inside the dense ``minimum`` +
+    ``sum`` closed form, so rows genuinely overlap on multi-core
+    machines): ``jobs=1`` (default) is the exact serial path,
+    ``jobs=None`` auto-sizes to the CPU count.  Parallel workers
+    evaluate :func:`two_hop_flows_to_sink` directly on each observer's
+    graph — a pure read, bit-identical to the service's batch oracle —
+    bypassing the service's batch memo and its telemetry counters
+    (which are not thread-safe).  Row values and the
+    ``rows_recomputed``/``rows_reused`` split are identical for every
+    ``jobs`` value; non-2-hop configurations always recompute serially
+    because their fallback path is the per-pair bounded maxflow.
     """
 
-    def __init__(self, bartercast: BarterCastService, peers: Sequence[str]):
+    def __init__(
+        self,
+        bartercast: BarterCastService,
+        peers: Sequence[str],
+        jobs: Optional[int] = 1,
+    ):
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1 (or None for auto)")
         self.bartercast = bartercast
         self.peers: List[str] = list(peers)
+        self.jobs = jobs
         n = len(self.peers)
         self._versions: List[Optional[int]] = [None] * n
         self._F = np.zeros((n, n))
@@ -67,17 +91,46 @@ class FlowMatrixCache:
         """The up-to-date flow matrix (a live internal array — callers
         must treat it as read-only; :func:`flow_matrix` hands out
         copies)."""
+        stale: List[Tuple[int, str, int]] = []
         for row, observer in enumerate(self.peers):
             version = self.bartercast.graph_of(observer).version
             if self._versions[row] == version:
                 self.rows_reused += 1
-                continue
-            self._F[row, :] = flows_to_observer(
-                self.bartercast, observer, self.peers
-            )
+            else:
+                stale.append((row, observer, version))
+        if not stale:
+            return self._F
+        workers = resolve_worker_count(len(stale), self.jobs)
+        if workers > 1 and self.bartercast.config.max_hops == 2:
+            computed = self._recompute_rows_parallel(stale, workers)
+        else:
+            computed = [
+                (row, version, flows_to_observer(self.bartercast, observer, self.peers))
+                for row, observer, version in stale
+            ]
+        for row, version, values in computed:
+            self._F[row, :] = values
             self._versions[row] = version
             self.rows_recomputed += 1
         return self._F
+
+    def _recompute_rows_parallel(
+        self, stale: Sequence[Tuple[int, str, int]], workers: int
+    ) -> List[Tuple[int, int, np.ndarray]]:
+        """Changed rows chunked across a thread pool; results are
+        collected (in row order) and written back on the caller's
+        thread so the cache itself is only ever mutated serially."""
+        bartercast = self.bartercast
+        peers = self.peers
+
+        def compute(item: Tuple[int, str, int]) -> Tuple[int, int, np.ndarray]:
+            row, observer, version = item
+            graph = bartercast.graph_of(observer)
+            return row, version, two_hop_flows_to_sink(graph, peers, observer)
+
+        chunksize = max(1, -(-len(stale) // workers))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(compute, stale, chunksize=chunksize))
 
 
 def flow_matrix(

@@ -40,6 +40,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 
+def resolve_worker_count(n_tasks: int, jobs: Optional[int]) -> int:
+    """Effective worker count for ``n_tasks`` under a ``jobs`` cap.
+
+    ``jobs=None`` auto-sizes to the machine's CPU count; the result is
+    always in ``[1, n_tasks]``.  Shared by :class:`ReplicaPool`
+    (processes) and :class:`~repro.metrics.cev.FlowMatrixCache`
+    (threads) so every parallel knob in the repo resolves the same way.
+    """
+    if n_tasks <= 0:
+        return 1
+    cap = jobs if jobs is not None else (os.cpu_count() or 1)
+    return max(1, min(n_tasks, cap))
+
+
 @dataclass
 class PackedResult:
     """A picklable snapshot of an :class:`ExperimentResult`.
@@ -161,10 +175,7 @@ class ReplicaPool:
 
     def resolve_jobs(self, n_tasks: int) -> int:
         """Worker count for ``n_tasks`` tasks under this pool's cap."""
-        if n_tasks <= 0:
-            return 1
-        cap = self.jobs if self.jobs is not None else (os.cpu_count() or 1)
-        return max(1, min(n_tasks, cap))
+        return resolve_worker_count(n_tasks, self.jobs)
 
     # ------------------------------------------------------------------
     def run_replicas(self, experiment, replicas: Sequence[int]) -> List:
