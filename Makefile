@@ -3,11 +3,17 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-smoke bench-full results
+.PHONY: test bench bench-smoke bench-full results lint-deadcode
 
 # Tier-1: the fast correctness suite (tests/ only).
 test:
 	$(PY) -m pytest -x -q
+
+# Dead-statement lint: no-op augmented assignments (x += 0),
+# no-effect expression statements, self-assignments.  Pure stdlib AST
+# pass (scripts/lint_deadcode.py) — no third-party linter needed.
+lint-deadcode:
+	$(PY) scripts/lint_deadcode.py
 
 # Full benchmark suite (quick-scale figures; REPRO_FULL=1 for paper scale).
 bench:
@@ -17,11 +23,13 @@ bench:
 # contribution cache beats the uncached path by >= 3x, parallel
 # run_many output is bit-identical to sequential, the sparse graph
 # backend is bit-identical to dense (to_matrix and 2-hop flows) with
-# an O(E)-sized mirror at 10k nodes, threaded flow-row recompute is
-# bit-identical to serial, and (on multi-core runners) the parallel
-# paths beat sequential by >= 1.5x.  Writes BENCH_contribution.json
-# so the perf trajectory accumulates per PR.
-bench-smoke:
+# an O(E)-sized mirror at 10k nodes, threaded AND process-sharded
+# flow-row recomputes are bit-identical to serial (the process tier
+# including its recomputed/reused counters), and (on multi-core
+# runners) the parallel paths beat sequential by >= 1.5x.  Also runs
+# the dead-statement lint.  Writes BENCH_contribution.json so the
+# perf trajectory accumulates per PR.
+bench-smoke: lint-deadcode
 	$(PY) scripts/bench_contribution.py --check
 
 # Paper-scale contribution benchmark (slower; no gate).

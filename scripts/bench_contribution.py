@@ -22,7 +22,10 @@ default), then measures on the resulting BarterCast state:
   both, mirror memory, plus a 10k-node synthetic build that must never
   allocate the O(n²) dense block;
 * **flow_rows** — serial vs threaded ``FlowMatrixCache`` changed-row
-  recompute (bit-identity always, speedup on multi-core machines).
+  recompute (bit-identity always, speedup on multi-core machines);
+* **flow_process** — serial vs process-sharded ``FlowMatrixCache``
+  recompute over shared-memory graph snapshots (rows *and* counters
+  bit-identical always, speedup on multi-core machines).
 
 Results land in ``BENCH_contribution.json`` at the repo root so the
 perf trajectory accumulates across PRs.  ``--check`` exits non-zero
@@ -347,18 +350,9 @@ def bench_sparse(svc, observers, peers, large_n: int = 10_000) -> dict:
     }
 
 
-def bench_flow_rows(seed: int, n_peers: int = 256) -> dict:
-    """Serial vs threaded ``FlowMatrixCache`` full-row recompute.
-
-    Runs over a synthetic population large enough that per-row numpy
-    work dominates thread-pool startup (the quick Fig-6 rows are a few
-    microseconds each, which would make any pool look like pure
-    overhead).  Every pass starts from a cold cache (all rows stale),
-    so the measured work is exactly the changed-row recompute the
-    threads parallelise.  Like the replica gate, the speedup
-    requirement only applies where the hardware can actually overlap
-    rows.
-    """
+def _synthetic_flow_service(seed: int, n_peers: int):
+    """A synthetic BarterCast state big enough that per-row numpy work
+    dominates pool startup; returns ``(service, peer order)``."""
     from repro.bartercast.protocol import BarterCastConfig, BarterCastService
     from repro.pss.base import OnlineRegistry
     from repro.pss.ideal import OraclePSS
@@ -376,7 +370,22 @@ def bench_flow_rows(seed: int, n_peers: int = 256) -> dict:
         svc.local_transfer(
             order[u], order[v], float(rng.uniform(1.0, 50.0)), now=float(step)
         )
+    return svc, order
 
+
+def bench_flow_rows(seed: int, n_peers: int = 256) -> dict:
+    """Serial vs threaded ``FlowMatrixCache`` full-row recompute.
+
+    Runs over a synthetic population large enough that per-row numpy
+    work dominates thread-pool startup (the quick Fig-6 rows are a few
+    microseconds each, which would make any pool look like pure
+    overhead).  Every pass starts from a cold cache (all rows stale),
+    so the measured work is exactly the changed-row recompute the
+    threads parallelise.  Like the replica gate, the speedup
+    requirement only applies where the hardware can actually overlap
+    rows.
+    """
+    svc, order = _synthetic_flow_service(seed, n_peers)
     cpu = os.cpu_count() or 1
     jobs = max(2, cpu)
 
@@ -411,6 +420,60 @@ def bench_flow_rows(seed: int, n_peers: int = 256) -> dict:
     }
 
 
+def bench_flow_process(seed: int, n_peers: int = 192) -> dict:
+    """Serial vs process-sharded ``FlowMatrixCache`` row recompute.
+
+    The process tier publishes each stale observer's adjacency through
+    shared memory and runs the 2-hop closed form in worker processes
+    (see :class:`repro.sim.parallel.FlowRowPool`).  Bit-identity —
+    rows *and* the recomputed/reused counter split — is gated on every
+    machine; as with the other parallel legs, the speedup requirement
+    only applies where concurrency is physically possible.  The timed
+    passes reuse one warm worker pool (`invalidate()` re-stales every
+    row) so spawn startup is paid once, as it is in a real sweep.
+    """
+    svc, order = _synthetic_flow_service(seed, n_peers)
+    cpu = os.cpu_count() or 1
+    jobs = max(2, cpu)
+
+    serial = FlowMatrixCache(svc, order, jobs=1)
+    process = FlowMatrixCache(svc, order, jobs=jobs, executor="process")
+    F_serial = serial.matrix().copy()
+    bit_identical = np.array_equal(F_serial, process.matrix())
+    counters_identical = (serial.rows_recomputed, serial.rows_reused) == (
+        process.rows_recomputed,
+        process.rows_reused,
+    )
+
+    # Serial passes route through the service's batch memo, so drop it
+    # each round; the process path bypasses the memo by construction.
+    def serial_pass():
+        svc.clear_caches()
+        serial.invalidate()
+        serial.matrix()
+
+    def process_pass():
+        process.invalidate()
+        process.matrix()
+
+    serial_passes, serial_t = _timed_rounds(serial_pass)
+    process_passes, process_t = _timed_rounds(process_pass)
+    process.close()
+    serial_rate = serial_passes / serial_t
+    process_rate = process_passes / process_t
+    return {
+        "rows": len(order),
+        "jobs": jobs,
+        "cpu_count": cpu,
+        "bit_identical": bit_identical,
+        "counters_identical": counters_identical,
+        "serial_matrices_per_s": round(serial_rate, 2),
+        "process_matrices_per_s": round(process_rate, 2),
+        "speedup": round(process_rate / serial_rate, 2),
+        "speedup_gate_active": cpu >= 2,
+    }
+
+
 def run(full: bool = False, seed: int = 7, out: Path = None) -> dict:
     stack, wall, _result = run_workload(full, seed)
     svc = stack.runtime.bartercast
@@ -429,6 +492,7 @@ def run(full: bool = False, seed: int = 7, out: Path = None) -> dict:
     matrix = bench_matrix(svc, observers, list(stack.trace.peers))
     sparse = bench_sparse(svc, observers, list(stack.trace.peers))
     flow_rows = bench_flow_rows(seed)
+    flow_process = bench_flow_process(seed)
     replicas = bench_replicas(seed)
 
     report = {
@@ -458,6 +522,7 @@ def run(full: bool = False, seed: int = 7, out: Path = None) -> dict:
         "matrix": matrix,
         "sparse": sparse,
         "flow_rows": flow_rows,
+        "flow_process": flow_process,
         "replicas": replicas,
     }
     out = out or REPO_ROOT / "BENCH_contribution.json"
@@ -513,6 +578,13 @@ def main(argv=None) -> int:
     flow_rows = report["flow_rows"]
     if not flow_rows["bit_identical"]:
         failures.append("threaded flow-row recompute diverged from serial")
+    flow_process = report["flow_process"]
+    if not flow_process["bit_identical"]:
+        failures.append("process flow-row recompute diverged from serial")
+    if not flow_process["counters_identical"]:
+        failures.append(
+            "process flow-row recomputed/reused counters diverged from serial"
+        )
     if replicas["speedup_gate_active"]:
         if replicas["speedup"] < args.min_replica_speedup:
             failures.append(
@@ -526,11 +598,18 @@ def main(argv=None) -> int:
                 f"< required {args.min_replica_speedup:.1f}x "
                 f"on {flow_rows['cpu_count']} cores"
             )
+        if flow_process["speedup"] < args.min_replica_speedup:
+            failures.append(
+                f"process flow-row speedup {flow_process['speedup']:.2f}x "
+                f"< required {args.min_replica_speedup:.1f}x "
+                f"on {flow_process['cpu_count']} cores"
+            )
     else:
         print(
-            "SKIP: replica and flow-row speedup gates skipped — "
-            f"single-core runner (cpu_count={replicas['cpu_count']}); "
-            "bit-identity still checked",
+            "SKIP: replica, flow-row and flow-process speedup gates "
+            f"skipped — single-core runner "
+            f"(cpu_count={replicas['cpu_count']}); bit-identity still "
+            "checked",
             file=sys.stderr,
         )
     if failures:

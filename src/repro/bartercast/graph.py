@@ -157,6 +157,12 @@ class _DenseMirror:
         view.setflags(write=False)
         return list(self._ids), view
 
+    def export_payload(self, order: Sequence[str]) -> Dict[str, np.ndarray]:
+        """Snapshot of the mirror in ``order`` space for shared-memory
+        publication: one dense float64 weight block, the same floats
+        :meth:`to_matrix` would produce (placement only)."""
+        return {"W": self.to_matrix(order)}
+
 
 class _SparseMirror:
     """CSR-style sparse mirror: per-row ``{column-slot: weight}`` dicts
@@ -294,6 +300,36 @@ class _SparseMirror:
         mat = self.to_matrix(ids)
         mat.setflags(write=False)
         return ids, mat
+
+    def export_payload(self, order: Sequence[str]) -> Dict[str, np.ndarray]:
+        """CSR snapshot of the mirror in ``order`` space for
+        shared-memory publication: ``indptr``/``indices``/``data`` with
+        column indices already translated to positions in ``order``.
+        Densifying row ``r`` as ``row[indices[lo:hi]] = data[lo:hi]``
+        performs exactly the scatter :meth:`matrix_rows` does, so the
+        floats land in the same cells (placement only)."""
+        ids = list(order)
+        colmap = self._colmap(ids)
+        indptr = np.zeros(len(ids) + 1, dtype=np.int64)
+        col_parts: List[np.ndarray] = []
+        val_parts: List[np.ndarray] = []
+        for pos, pid in enumerate(ids):
+            slot = self._index.get(pid)
+            if slot is None:
+                indptr[pos + 1] = indptr[pos]
+                continue
+            cols, vals = self._arrays(slot)
+            cpos = colmap[cols]
+            keep = cpos >= 0
+            kept_cols = cpos[keep]
+            col_parts.append(kept_cols.astype(np.int64, copy=False))
+            val_parts.append(vals[keep])
+            indptr[pos + 1] = indptr[pos] + kept_cols.size
+        indices = (
+            np.concatenate(col_parts) if col_parts else np.zeros(0, dtype=np.int64)
+        )
+        data = np.concatenate(val_parts) if val_parts else np.zeros(0, dtype=float)
+        return {"indptr": indptr, "indices": indices, "data": data}
 
 
 class SubjectiveGraph:
@@ -567,11 +603,118 @@ class SubjectiveGraph:
         for a stable order."""
         return self._mirror.dense()
 
+    def mirror_payload(
+        self, order: Sequence[str]
+    ) -> Tuple[str, Dict[str, np.ndarray]]:
+        """``(kind, arrays)`` snapshot of the matrix mirror in
+        ``order`` space, ready for shared-memory publication.
+
+        Dense mirrors export one ``(n, n)`` float64 weight block
+        (``{"W": ...}``), sparse mirrors CSR arrays
+        (``{"indptr", "indices", "data"}``) with columns translated to
+        positions in ``order``.  Either payload, rehydrated through
+        :class:`SharedGraphView`, reproduces :meth:`to_matrix` /
+        :meth:`matrix_rows` / :meth:`matrix_column` bit-for-bit — the
+        export is placement only, no arithmetic."""
+        return self._mirror.kind, self._mirror.export_payload(list(order))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SubjectiveGraph(owner={self.owner!r}, edges={self.num_edges()}, "
             f"backend={self.matrix_backend})"
         )
+
+
+class SharedGraphView:
+    """Read-only graph facade over an exported mirror snapshot.
+
+    Worker processes rebuild one of these from the arrays a
+    :meth:`SubjectiveGraph.mirror_payload` export published to shared
+    memory (see :class:`repro.sim.parallel.FlowRowPool`) and hand it
+    straight to :func:`~repro.bartercast.maxflow.two_hop_flows_to_sink`
+    — the view implements exactly the surface that function touches
+    (``nodes`` / ``matrix_backend`` / ``to_matrix`` / ``matrix_rows`` /
+    ``matrix_column``) without pickling or copying the weight data.
+
+    The snapshot is taken in a fixed ``ids`` order; every accessor
+    insists the requested order *is* that order (the flow kernel always
+    asks for ``sorted(nodes | {sink} | sources)``, which the exporter
+    pre-computed), so a mismatch is a caller bug and raises rather than
+    silently breaking bit-identity.
+    """
+
+    def __init__(self, ids: Sequence[str], kind: str, arrays: Dict[str, np.ndarray]):
+        if kind not in ("dense", "sparse"):
+            raise ValueError(f"unknown mirror kind {kind!r}")
+        self._ids: List[str] = list(ids)
+        self._kind = kind
+        self._arrays = arrays
+        self._pos: Dict[str, int] = {p: i for i, p in enumerate(self._ids)}
+
+    def nodes(self) -> Set[str]:
+        return set(self._ids)
+
+    @property
+    def matrix_backend(self) -> str:
+        return self._kind
+
+    def _check_order(self, order: Sequence[str]) -> None:
+        if list(order) != self._ids:
+            raise ValueError(
+                "SharedGraphView was exported for a different node order"
+            )
+
+    def to_matrix(self, order: Iterable[str]) -> np.ndarray:
+        self._check_order(list(order))
+        return self._arrays["W"]
+
+    def matrix_rows(
+        self, row_ids: Sequence[str], order: Sequence[str]
+    ) -> np.ndarray:
+        self._check_order(order)
+        if self._kind == "dense":
+            W = self._arrays["W"]
+            block = np.zeros((len(row_ids), len(self._ids)))
+            for pos, pid in enumerate(row_ids):
+                r = self._pos.get(pid)
+                if r is not None:
+                    block[pos, :] = W[r, :]
+            return block
+        indptr = self._arrays["indptr"]
+        indices = self._arrays["indices"]
+        data = self._arrays["data"]
+        block = np.zeros((len(row_ids), len(self._ids)))
+        for pos, pid in enumerate(row_ids):
+            r = self._pos.get(pid)
+            if r is None:
+                continue
+            lo, hi = indptr[r], indptr[r + 1]
+            block[pos, indices[lo:hi]] = data[lo:hi]
+        return block
+
+    def matrix_column(self, order: Sequence[str], sink: str) -> np.ndarray:
+        self._check_order(order)
+        n = len(self._ids)
+        col = np.zeros(n)
+        t = self._pos.get(sink)
+        if t is None:
+            return col
+        if self._kind == "dense":
+            col[:] = self._arrays["W"][:, t]
+            return col
+        indptr = self._arrays["indptr"]
+        indices = self._arrays["indices"]
+        data = self._arrays["data"]
+        hit = indices == t
+        if hit.any():
+            rows = np.repeat(np.arange(n, dtype=np.intp), np.diff(indptr))
+            col[rows[hit]] = data[hit]
+        return col
+
+    def release(self) -> None:
+        """Drop every array reference so the backing shared-memory
+        mapping can be closed (numpy views keep it pinned otherwise)."""
+        self._arrays = {}
 
 
 class ReadOnlySubjectiveGraph(SubjectiveGraph):

@@ -36,7 +36,8 @@ class BallotBox:
         """Fold a voter's vote list into the box.
 
         Returns the number of (new or updated) vote entries stored.
-        Eviction by unique-voter count runs after the merge.
+        Eviction by unique-voter count runs after the merge.  A merge
+        that stores nothing leaves the voter's recency untouched.
         """
         entries = list(entries)
         if not entries:
@@ -52,6 +53,12 @@ class BallotBox:
             stored += 1
         if not votes:
             self._votes.pop(voter, None)
+            return 0
+        if stored == 0:
+            # Nothing usable arrived (e.g. a self-vote-only list).  Do
+            # NOT refresh the voter's recency: bumping it here would let
+            # a peer dodge B_max eviction forever by periodically
+            # shipping empty-calorie exchanges.
             return 0
         self._last_received[voter] = now
         self._seq += 1
@@ -101,6 +108,24 @@ class BallotBox:
             else:
                 neg += 1
         return pos, neg
+
+    def all_counts(self) -> Dict[str, Tuple[int, int]]:
+        """``moderator → (positive, negative)`` for every moderator the
+        box has votes on, in one pass over the stored votes.
+
+        Equivalent to calling :meth:`counts` per moderator (integer
+        tallies, so bit-identical) but O(total votes) instead of
+        O(moderators × voters) — the difference between a linear and a
+        quadratic dispersion scan per adaptive tick."""
+        totals: Dict[str, Tuple[int, int]] = {}
+        for votes in self._votes.values():
+            for moderator_id, (vote, _at) in votes.items():
+                pos, neg = totals.get(moderator_id, (0, 0))
+                if vote is Vote.POSITIVE:
+                    totals[moderator_id] = (pos + 1, neg)
+                else:
+                    totals[moderator_id] = (pos, neg + 1)
+        return totals
 
     def score(self, moderator_id: str) -> int:
         """Summation score: positives − negatives."""

@@ -127,10 +127,14 @@ class AdaptiveThresholdExperience(ExperienceFunction):
     # ------------------------------------------------------------------
     @staticmethod
     def dispersion(ballot_box: "BallotBox") -> float:
-        """Worst-case per-moderator vote disagreement in ``[0, 1]``."""
+        """Worst-case per-moderator vote disagreement in ``[0, 1]``.
+
+        One pass over the stored votes via
+        :meth:`~repro.core.ballotbox.BallotBox.all_counts` — calling
+        ``counts()`` per moderator would rescan every voter for every
+        moderator, O(moderators × voters) per adaptive tick."""
         worst = 0.0
-        for moderator in ballot_box.moderators():
-            pos, neg = ballot_box.counts(moderator)
+        for pos, neg in ballot_box.all_counts().values():
             total = pos + neg
             if total < 2:
                 continue

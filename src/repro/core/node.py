@@ -73,7 +73,9 @@ class VoteSamplingNode:
         self.moderations_received = 0
         self.votes_merged = 0
         self.votes_rejected_inexperienced = 0
+        self.votes_truncated = 0
         self.vp_requests_answered = 0
+        self.vp_requests_declined = 0
 
     # ------------------------------------------------------------------
     # User actions
@@ -172,6 +174,13 @@ class VoteSamplingNode:
     ) -> int:
         """Merge a received vote list iff the sender is experienced.
 
+        The ``votes_per_exchange`` cap is enforced *here*, on the
+        receiver — honest senders already truncate in
+        :meth:`votes_to_send`, but a malicious peer can ship an
+        arbitrarily long list, and trusting the sender would let it
+        bloat the ballot box with unbounded distinct moderators per
+        voter (memory ``B_max`` alone does not bound).
+
         Returns the number of stored entries (0 on rejection).
         """
         if voter == self.peer_id:
@@ -179,6 +188,11 @@ class VoteSamplingNode:
         if not experienced:
             self.votes_rejected_inexperienced += 1
             return 0
+        entries = list(entries)
+        cap = self.config.votes_per_exchange
+        if len(entries) > cap:
+            self.votes_truncated += len(entries) - cap
+            entries = entries[:cap]
         stored = self.ballot_box.merge(voter, entries, now)
         self.votes_merged += stored
         return stored
@@ -196,7 +210,7 @@ class VoteSamplingNode:
         prevents nodes unwittingly passing potentially malicious top-K
         lists received from others"."""
         if self.needs_bootstrap():
-            self.vp_requests_answered += 0
+            self.vp_requests_declined += 1
             return None
         self.vp_requests_answered += 1
         return top_k(self.ballot_ranking(), self.config.k)

@@ -268,16 +268,33 @@ class ProtocolRuntime:
     def run_summary(self) -> Dict[str, object]:
         """One dict with everything a run report needs: per-protocol
         traffic (the TrafficMeter), BarterCast exchange and cache
-        counters, drops, and accumulated online node-hours."""
+        counters, node-level protocol counters, drops, and accumulated
+        online node-hours."""
         return {
             "traffic": self.traffic.summary(),
             "bartercast": {
                 "exchanges": self.bartercast.exchanges,
                 **self.bartercast.cache_stats(),
             },
+            "nodes": self.node_counters(),
             "dropped_exchanges": self.dropped_exchanges,
             "online_node_hours": self.online_node_hours(),
         }
+
+    def node_counters(self) -> Dict[str, int]:
+        """Protocol counters summed over every materialised node."""
+        totals = {
+            "moderations_received": 0,
+            "votes_merged": 0,
+            "votes_rejected_inexperienced": 0,
+            "votes_truncated": 0,
+            "vp_requests_answered": 0,
+            "vp_requests_declined": 0,
+        }
+        for node in self.nodes.values():
+            for key in totals:
+                totals[key] += getattr(node, key)
+        return totals
 
     def online_node_hours(self) -> float:
         """Accumulated online node-hours (closed sessions plus the

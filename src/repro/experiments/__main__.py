@@ -55,6 +55,7 @@ def run_fig5(args) -> None:
         duration=duration,
         runtime=_runtime_overrides(args),
         flow_jobs=None if args.flow_jobs == 0 else args.flow_jobs,
+        flow_executor=args.flow_executor,
     )
     if args.quick:
         cfg.trace = _quick_trace(duration)
@@ -175,8 +176,17 @@ def main(argv=None) -> int:
         "--flow-jobs",
         type=int,
         default=1,
-        help="threads for the fig5 flow-matrix row recompute "
+        help="workers for the fig5 flow-matrix row recompute "
         "(0 = one per CPU; results are bit-identical at any value)",
+    )
+    parser.add_argument(
+        "--flow-executor",
+        choices=["thread", "process", "auto"],
+        default="thread",
+        help="execution tier for parallel flow rows: threads share the "
+        "live graphs, processes shard rows over workers with graphs "
+        "published via shared memory (bit-identical either way; "
+        "ignored when --flow-jobs=1)",
     )
     args = parser.parse_args(argv)
     if args.figure in ("fig5", "all"):

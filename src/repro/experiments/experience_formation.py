@@ -39,10 +39,16 @@ class ExperienceFormationConfig:
     sample_interval: float = 3600.0
     trace: TraceGeneratorConfig = field(default_factory=TraceGeneratorConfig)
     runtime: Optional[RuntimeConfig] = None
-    #: Thread count for the flow-matrix changed-row recompute (1 =
+    #: Worker count for the flow-matrix changed-row recompute (1 =
     #: serial, ``None`` = one per CPU).  Any value yields bit-identical
     #: CEV curves; see :class:`~repro.metrics.cev.FlowMatrixCache`.
     flow_jobs: Optional[int] = 1
+    #: Execution tier for parallel flow rows: ``"thread"`` (shared
+    #: graphs, GIL released inside numpy), ``"process"`` (rows sharded
+    #: over worker processes, graphs published via shared memory) or
+    #: ``"auto"``.  Bit-identical across tiers; ignored when
+    #: ``flow_jobs=1``.
+    flow_executor: str = "thread"
 
     def __post_init__(self) -> None:
         if not self.thresholds:
@@ -51,6 +57,10 @@ class ExperienceFormationConfig:
             raise ValueError("duration must be positive")
         if self.flow_jobs is not None and self.flow_jobs < 1:
             raise ValueError("flow_jobs must be >= 1 (or None for auto)")
+        if self.flow_executor not in ("thread", "process", "auto"):
+            raise ValueError(
+                "flow_executor must be 'thread', 'process' or 'auto'"
+            )
 
 
 class ExperienceFormationExperiment:
@@ -83,7 +93,10 @@ class ExperienceFormationExperiment:
         # only observers whose graph changed since the previous sample
         # cost a row recompute.
         flow_cache = FlowMatrixCache(
-            stack.runtime.bartercast, peers, jobs=cfg.flow_jobs
+            stack.runtime.bartercast,
+            peers,
+            jobs=cfg.flow_jobs,
+            executor=cfg.flow_executor,
         )
 
         def probe():
@@ -93,7 +106,11 @@ class ExperienceFormationExperiment:
             return {f"T={t / MB:g}MB": v for t, v in cev.items()}
 
         stack.recorder.add_probe("cev", probe)
-        stack.run(until=cfg.duration)
+        try:
+            stack.run(until=cfg.duration)
+        finally:
+            # Shut the process-tier worker pool down (no-op otherwise).
+            flow_cache.close()
 
         result = ExperimentResult(name="fig5-experience-formation")
         result.series = dict(stack.recorder.series)
@@ -105,5 +122,6 @@ class ExperienceFormationExperiment:
             "flow_rows_recomputed": flow_cache.rows_recomputed,
             "flow_rows_reused": flow_cache.rows_reused,
             "flow_jobs": cfg.flow_jobs,
+            "flow_executor": cfg.flow_executor,
         }
         return result

@@ -25,16 +25,46 @@ only portable choice).  That imposes two constraints honoured here:
 
 ``jobs=1`` (or a single task) short-circuits to plain in-process calls:
 no pool, no pickling, byte-for-byte today's sequential behaviour.
+
+Shared-memory spool
+-------------------
+Two hot paths used to push bulk float data through pickle: replica
+results (each worker returned its ``(n, 2)`` series arrays inside a
+pickled :class:`PackedResult`) and — had it been built on processes —
+the flow-matrix changed-row recompute, where every worker would need an
+observer's full adjacency.  Both now ride one mechanism: numpy arrays
+are packed into ``multiprocessing.shared_memory`` segments (a pickled
+:class:`SegmentSpec` carries only the segment name and a header of
+per-array offsets/dtypes/shapes) and the consumer maps them directly.
+
+* :class:`ShmSpool` owns parent-created segments and guarantees
+  unlink-on-exit even when a worker crashes mid-batch;
+* :class:`FlowRowPool` shards :class:`~repro.metrics.cev.FlowMatrixCache`
+  changed-row recomputes over worker *processes*: each observer's
+  adjacency snapshot (dense weight block, or sparse CSR arrays) is
+  published via the spool, workers rebuild a zero-copy
+  :class:`~repro.bartercast.graph.SharedGraphView` and run the pure
+  :func:`~repro.bartercast.maxflow.two_hop_flows_to_sink`, and rows
+  come back through a single parent-owned result block — nothing but
+  task headers crosses the process boundary by pickle;
+* :class:`ReplicaPool` workers publish their series arrays the same
+  way (``result_transport="shm"``), replacing the pickled arrays with
+  a memory-mapped result buffer; the parent copies them out and
+  unlinks.  Bytes are copied verbatim either way, so results stay
+  bit-identical to the pickle transport (and to sequential runs).
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import copy
 import multiprocessing
 import os
+import secrets
 import sys
 import warnings
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -52,6 +82,167 @@ def resolve_worker_count(n_tasks: int, jobs: Optional[int]) -> int:
         return 1
     cap = jobs if jobs is not None else (os.cpu_count() or 1)
     return max(1, min(n_tasks, cap))
+
+
+# ----------------------------------------------------------------------
+# Shared-memory segment packing
+# ----------------------------------------------------------------------
+
+#: Every segment this module creates is named with this prefix, so
+#: leak checks (tests, ops) can enumerate ``/dev/shm/reproshm_*``.
+SHM_PREFIX = "reproshm"
+
+#: Array offsets inside a segment are aligned to this many bytes so
+#: mapped views are always well-aligned for float64/int64 access.
+_SHM_ALIGN = 64
+
+
+def _unique_segment_name() -> str:
+    return f"{SHM_PREFIX}_{os.getpid()}_{secrets.token_hex(8)}"
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Picklable header describing arrays packed into one segment.
+
+    ``entries`` holds ``(key, offset, dtype, shape)`` per array — the
+    only thing that travels by pickle; the floats themselves stay in
+    the named shared-memory block.
+    """
+
+    name: str
+    entries: Tuple[Tuple[str, int, str, Tuple[int, ...]], ...]
+
+
+def _pack_layout(
+    arrays: Sequence[Tuple[str, np.ndarray]]
+) -> Tuple[Tuple[Tuple[str, int, str, Tuple[int, ...]], ...], int]:
+    """Assign an aligned offset to each array; returns (entries, total)."""
+    entries = []
+    offset = 0
+    for key, arr in arrays:
+        offset = (offset + _SHM_ALIGN - 1) & ~(_SHM_ALIGN - 1)
+        entries.append((key, offset, arr.dtype.str, tuple(arr.shape)))
+        offset += arr.nbytes
+    # Trailing pad so zero-size arrays at the end still map cleanly.
+    return tuple(entries), offset + _SHM_ALIGN
+
+
+def create_segment(
+    arrays: Dict[str, np.ndarray]
+) -> Tuple[shared_memory.SharedMemory, SegmentSpec]:
+    """Create one segment holding copies of ``arrays``.
+
+    The caller owns the returned handle (close it when done writing;
+    whoever *consumes* the data unlinks).  Array bytes are copied
+    verbatim, so rehydrated views are bit-identical."""
+    items = [(k, np.ascontiguousarray(v)) for k, v in arrays.items()]
+    entries, total = _pack_layout(items)
+    shm = shared_memory.SharedMemory(
+        create=True, size=total, name=_unique_segment_name()
+    )
+    for (key, off, dtype, shape), (_k, arr) in zip(entries, items):
+        if arr.size:
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off)
+            view[...] = arr
+            del view
+    return shm, SegmentSpec(name=shm.name, entries=entries)
+
+
+class AttachedSegment:
+    """A consumer-side mapping of a :class:`SegmentSpec`.
+
+    ``arrays`` maps each key to a read-only numpy view into the shared
+    block — zero copies.  Call :meth:`close` (after dropping any views
+    you still hold) to release the mapping; ``unlink=True`` also
+    removes the segment from the system."""
+
+    def __init__(self, spec: SegmentSpec, writable: bool = False):
+        self._shm = shared_memory.SharedMemory(name=spec.name)
+        self.arrays: Dict[str, np.ndarray] = {}
+        for key, off, dtype, shape in spec.entries:
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=self._shm.buf, offset=off
+            )
+            if not writable:
+                view.setflags(write=False)
+            self.arrays[key] = view
+
+    def close(self, unlink: bool = False) -> None:
+        self.arrays = {}
+        if unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a view outlived us
+            # A still-referenced view pins the mapping; the segment is
+            # already unlinked above, so nothing leaks system-wide.
+            pass
+
+
+class ShmSpool:
+    """Registry of parent-created segments with guaranteed cleanup.
+
+    Use as a context manager around a fan-out batch: every segment
+    created through the spool is unlinked on exit — including the
+    exceptional exits a crashed worker causes — so no ``/dev/shm``
+    entry can outlive the batch."""
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self.created = 0
+
+    def publish(self, arrays: Dict[str, np.ndarray]) -> SegmentSpec:
+        """Copy ``arrays`` into a fresh spool-owned segment."""
+        shm, spec = create_segment(arrays)
+        self._segments.append(shm)
+        self.created += 1
+        return spec
+
+    def allocate(
+        self, shapes: Dict[str, Tuple[Tuple[int, ...], str]]
+    ) -> Tuple[SegmentSpec, Dict[str, np.ndarray]]:
+        """Create a zero-filled segment and return writable parent
+        views — the result-collection buffer workers write into."""
+        entries, total = _pack_layout(
+            [
+                (key, np.empty(shape, dtype=np.dtype(dtype)))
+                for key, (shape, dtype) in shapes.items()
+            ]
+        )
+        shm = shared_memory.SharedMemory(
+            create=True, size=total, name=_unique_segment_name()
+        )
+        shm.buf[:] = b"\x00" * len(shm.buf)
+        self._segments.append(shm)
+        self.created += 1
+        views = {
+            key: np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off)
+            for key, off, dtype, shape in entries
+        }
+        return SegmentSpec(name=shm.name, entries=entries), views
+
+    def close(self) -> None:
+        """Unlink (always) and close (best effort) every segment."""
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - a view outlived us
+                pass
+
+    def __enter__(self) -> "ShmSpool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @dataclass
@@ -158,6 +349,202 @@ def _spawn_main_is_reimportable() -> bool:
     return os.path.exists(path)
 
 
+# ----------------------------------------------------------------------
+# Process-sharded flow rows
+# ----------------------------------------------------------------------
+
+#: Peer list installed once per worker process (pool initializer), so
+#: per-task pickles carry only a row index and a segment header.
+_FLOW_WORKER_PEERS: Optional[List[str]] = None
+
+#: Test-only hook: when this environment variable is set, flow workers
+#: die abruptly instead of computing — used to verify that the parent
+#: still unlinks every segment after a worker crash.
+_FLOW_CRASH_ENV = "REPRO_TEST_CRASH_FLOW_WORKER"
+
+
+def _flow_worker_init(peers: List[str]) -> None:
+    """Pool initializer: pin the (fixed) peer list in the worker."""
+    global _FLOW_WORKER_PEERS
+    _FLOW_WORKER_PEERS = list(peers)
+
+
+def _flow_row_task(task) -> int:
+    """Worker entrypoint: one observer's flow row.
+
+    Maps the observer's adjacency snapshot from shared memory, runs the
+    pure :func:`two_hop_flows_to_sink` over a zero-copy
+    :class:`~repro.bartercast.graph.SharedGraphView`, and writes the
+    row into the parent-owned result block.  Nothing but this small
+    task tuple and the returned index crosses by pickle."""
+    from repro.bartercast.graph import SharedGraphView
+    from repro.bartercast.maxflow import two_hop_flows_to_sink
+
+    index, sink, kind, graph_spec, result_spec = task
+    if os.environ.get(_FLOW_CRASH_ENV):
+        os._exit(2)
+    assert _FLOW_WORKER_PEERS is not None, "worker initializer did not run"
+    seg = AttachedSegment(graph_spec)
+    view = None
+    try:
+        ids_blob = bytes(seg.arrays.pop("ids"))
+        ids = ids_blob.decode("utf-8").split("\n") if ids_blob else []
+        view = SharedGraphView(ids, kind, seg.arrays)
+        flows = two_hop_flows_to_sink(view, _FLOW_WORKER_PEERS, sink)
+    finally:
+        if view is not None:
+            view.release()
+        seg.close()
+    out = AttachedSegment(result_spec, writable=True)
+    try:
+        out.arrays["rows"][index, :] = flows
+    finally:
+        out.close()
+    return index
+
+
+class FlowRowPool:
+    """Shards flow-matrix changed-row recomputes over worker processes.
+
+    The executor is **persistent** across batches (spawn start-up is
+    far too slow to pay per metric sample) and is initialised once with
+    the fixed peer list.  Per batch, each stale observer's adjacency is
+    published to shared memory via an :class:`ShmSpool` (dense: one
+    float64 weight block; sparse: CSR arrays) together with one result
+    block all workers write rows into; the spool's context manager
+    unlinks every segment afterwards — also on worker crash, where the
+    executor is additionally discarded so the next batch starts from a
+    clean pool.
+
+    ``jobs=1`` callers should not construct a pool at all (the caller's
+    serial path is the short circuit); :meth:`run_rows` nevertheless
+    degrades gracefully for single-task batches.
+    """
+
+    def __init__(
+        self,
+        peers: Sequence[str],
+        jobs: Optional[int] = None,
+        start_method: str = "spawn",
+    ):
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1 (or None for auto)")
+        self.peers: List[str] = list(peers)
+        self._peer_set = set(self.peers)
+        self.jobs = jobs
+        self.start_method = start_method
+        self._executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    def _ensure_executor(self, workers: int) -> concurrent.futures.ProcessPoolExecutor:
+        if self._executor is None:
+            _ensure_child_importable()
+            ctx = multiprocessing.get_context(self.start_method)
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=ctx,
+                initializer=_flow_worker_init,
+                initargs=(self.peers,),
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "FlowRowPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def run_rows(
+        self, stale: Sequence[Tuple[int, str, object]]
+    ) -> List[Tuple[int, np.ndarray]]:
+        """Compute ``two_hop_flows_to_sink(graph, peers, observer)``
+        for each ``(row, observer, graph)`` item, in item order.
+
+        Rows come back through the shared result block, copied out
+        before the spool unlinks it, so the returned arrays are the
+        caller's to keep."""
+        stale = list(stale)
+        if not stale:
+            return []
+        n = len(self.peers)
+        workers = resolve_worker_count(len(stale), self.jobs)
+        with ShmSpool() as spool:
+            result_spec, views = spool.allocate(
+                {"rows": ((len(stale), n), "<f8")}
+            )
+            tasks = []
+            for i, (row, sink, graph) in enumerate(stale):
+                ids = sorted(graph.nodes() | {sink} | self._peer_set)
+                kind, arrays = graph.mirror_payload(ids)
+                arrays["ids"] = np.frombuffer(
+                    "\n".join(ids).encode("utf-8"), dtype=np.uint8
+                )
+                spec = spool.publish(arrays)
+                tasks.append((i, sink, kind, spec, result_spec))
+            executor = self._ensure_executor(workers)
+            chunksize = max(1, -(-len(tasks) // workers))
+            try:
+                list(executor.map(_flow_row_task, tasks, chunksize=chunksize))
+            except concurrent.futures.process.BrokenProcessPool:
+                # A worker died mid-batch: discard the broken executor
+                # so the next batch gets a fresh pool; the spool's
+                # context manager still unlinks every segment.
+                self._executor = None
+                raise
+            out = [
+                (row, views["rows"][i].copy())
+                for i, (row, _sink, _graph) in enumerate(stale)
+            ]
+            views = None
+        return out
+
+
+@dataclass
+class _SpooledResult:
+    """A :class:`PackedResult` whose series arrays live in a shared
+    segment instead of the pickle stream.
+
+    Only this small header (segment name + per-array layout + the
+    metadata dict) crosses the process boundary by pickle; the parent
+    maps the segment, copies the arrays out, and unlinks it."""
+
+    name: str
+    spec: SegmentSpec
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+def _run_task_spooled(task) -> _SpooledResult:
+    """Worker entrypoint: like :func:`_run_task`, but publish the
+    series arrays through shared memory.
+
+    The worker closes its own handle after writing; the parent (the
+    consumer) unlinks.  Should the parent die first, the shared
+    resource tracker reclaims the registered segment at exit."""
+    packed = _run_task(task)
+    shm, spec = create_segment(packed.series)
+    shm.close()
+    return _SpooledResult(name=packed.name, spec=spec, metadata=packed.metadata)
+
+
+def _collect_spooled(spooled: _SpooledResult) -> PackedResult:
+    """Map a worker-published segment, copy the series out, unlink."""
+    seg = AttachedSegment(spooled.spec)
+    try:
+        series = {k: v.copy() for k, v in seg.arrays.items()}
+    finally:
+        seg.close(unlink=True)
+    return PackedResult(
+        name=spooled.name, series=series, metadata=spooled.metadata
+    )
+
+
 class ReplicaPool:
     """Farms independent replica runs over worker processes.
 
@@ -165,13 +552,31 @@ class ReplicaPool:
     ``jobs=1`` runs sequentially in-process (no pool is created), which
     keeps single-job behaviour byte-identical to the pre-parallel code
     and keeps the pool usable on single-core machines.
+
+    ``result_transport`` picks how series arrays travel back from the
+    workers: ``"shm"`` (default) publishes them through shared-memory
+    segments the parent maps and unlinks — the pickle stream then
+    carries only tiny headers — while ``"pickle"`` ships the arrays
+    inline, the pre-shm behaviour.  Bytes are copied verbatim either
+    way, so both transports are bit-identical.
     """
 
-    def __init__(self, jobs: Optional[int] = None, start_method: str = "spawn"):
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        start_method: str = "spawn",
+        result_transport: str = "shm",
+    ):
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1 (or None for auto)")
+        if result_transport not in ("shm", "pickle"):
+            raise ValueError(
+                f"result_transport must be 'shm' or 'pickle', "
+                f"got {result_transport!r}"
+            )
         self.jobs = jobs
         self.start_method = start_method
+        self.result_transport = result_transport
 
     def resolve_jobs(self, n_tasks: int) -> int:
         """Worker count for ``n_tasks`` tasks under this pool's cap."""
@@ -217,5 +622,9 @@ class ReplicaPool:
         shipped = [(_strip(experiment), replica) for experiment, replica in tasks]
         ctx = multiprocessing.get_context(self.start_method)
         with ctx.Pool(processes=jobs) as pool:
-            packed = pool.map(_run_task, shipped)
+            if self.result_transport == "shm":
+                spooled = pool.map(_run_task_spooled, shipped)
+                packed = [_collect_spooled(s) for s in spooled]
+            else:
+                packed = pool.map(_run_task, shipped)
         return [unpack_result(p) for p in packed]

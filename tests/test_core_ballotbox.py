@@ -110,6 +110,67 @@ def test_property_unique_voters_never_exceed_b_max(merges, b_max):
             assert pos + neg >= 1
 
 
+def test_self_vote_only_merge_does_not_refresh_recency():
+    """Regression: a merge that stores nothing (e.g. a self-vote-only
+    list) must NOT bump the voter's recency — pre-fix it did, letting a
+    peer dodge B_max eviction forever with empty-calorie exchanges.
+
+    With b_max=2: v1 then v2 fill the box; v1 ships a self-vote-only
+    list (stored == 0); when v3 arrives, the *oldest real contributor*
+    is v1 and must be the one evicted.  Pre-fix, v1's order was bumped
+    by the empty merge and v2 was evicted instead."""
+    bb = BallotBox(b_max=2)
+    bb.merge("v1", [ve("m1", Vote.POSITIVE)], now=1.0)
+    bb.merge("v2", [ve("m1", Vote.POSITIVE)], now=2.0)
+    assert bb.merge("v1", [ve("v1", Vote.POSITIVE)], now=3.0) == 0
+    bb.merge("v3", [ve("m1", Vote.POSITIVE)], now=4.0)
+    assert bb.voters() == ["v2", "v3"]
+
+
+def test_stored_votes_survive_a_noop_remerge():
+    """The no-recency-bump path must still leave previously stored
+    votes intact (it returns early, it must not roll anything back)."""
+    bb = BallotBox(b_max=5)
+    bb.merge("v1", [ve("m1", Vote.NEGATIVE)], now=1.0)
+    assert bb.merge("v1", [ve("v1", Vote.POSITIVE)], now=2.0) == 0
+    assert bb.counts("m1") == (0, 1)
+    assert bb.voters() == ["v1"]
+
+
+def test_all_counts_matches_per_moderator_counts():
+    bb = BallotBox(b_max=10)
+    bb.merge("v1", [ve("m1", Vote.POSITIVE), ve("m2", Vote.NEGATIVE)], now=1.0)
+    bb.merge("v2", [ve("m1", Vote.NEGATIVE), ve("m3", Vote.POSITIVE)], now=2.0)
+    totals = bb.all_counts()
+    assert set(totals) == set(bb.moderators())
+    for m in bb.moderators():
+        assert totals[m] == bb.counts(m)
+
+
+def test_all_counts_empty_box():
+    assert BallotBox(b_max=3).all_counts() == {}
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 8), st.integers(0, 5), st.booleans()),
+        max_size=80,
+    ),
+    st.integers(1, 6),
+)
+def test_property_all_counts_is_bit_identical_to_counts(merges, b_max):
+    """The single-pass tally equals the per-moderator rescan under any
+    merge/eviction history (integer sums, so exact equality)."""
+    bb = BallotBox(b_max=b_max)
+    for t, (voter, mod, positive) in enumerate(merges):
+        v = Vote.POSITIVE if positive else Vote.NEGATIVE
+        bb.merge(f"v{voter}", [ve(f"m{mod}", v)], now=float(t))
+    totals = bb.all_counts()
+    assert sorted(totals) == bb.moderators()
+    for m in bb.moderators():
+        assert totals[m] == bb.counts(m)
+
+
 @given(
     st.lists(
         st.tuples(st.integers(0, 30), st.booleans()),

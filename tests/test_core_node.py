@@ -132,6 +132,38 @@ class TestBallotBox:
         node = make_node()
         assert node.receive_votes("n1", self.entries("m1"), 1.0, True) == 0
 
+    def test_receiver_enforces_votes_per_exchange_cap(self):
+        """Regression: merge() trusted the sender to honour the 50-vote
+        cap; a malicious peer shipping an oversized list must be
+        truncated at the receiver.  Pre-fix, every entry was stored."""
+        node = make_node(votes_per_exchange=3)
+        oversized = self.entries(*[f"m{i}" for i in range(10)])
+        stored = node.receive_votes("v1", oversized, 1.0, experienced=True)
+        assert stored == 3
+        assert node.ballot_box.total_votes() == 3
+        assert node.votes_truncated == 7
+        # The kept prefix is the head of the sender's list.
+        assert node.ballot_box.moderators() == ["m0", "m1", "m2"]
+
+    def test_cap_does_not_touch_compliant_lists(self):
+        node = make_node(votes_per_exchange=5)
+        stored = node.receive_votes(
+            "v1", self.entries("m1", "m2"), 1.0, experienced=True
+        )
+        assert stored == 2
+        assert node.votes_truncated == 0
+
+    def test_oversized_list_cannot_bloat_moderators_per_voter(self):
+        """Repeated oversized sends keep the per-voter moderator count
+        bounded by the cap times the number of exchanges the receiver
+        actually accepts — not by the sender's appetite."""
+        node = make_node(votes_per_exchange=2)
+        for round_ in range(3):
+            mods = [f"m{round_}_{i}" for i in range(50)]
+            node.receive_votes("v1", self.entries(*mods), float(round_), True)
+        assert node.ballot_box.total_votes() == 6
+        assert node.votes_truncated == 3 * 48
+
 
 class TestVoxPopuli:
     def vote_in(self, node, n_voters, moderator="m1", vote=Vote.POSITIVE):
@@ -149,6 +181,19 @@ class TestVoxPopuli:
     def test_bootstrapping_node_responds_null(self):
         node = make_node(b_min=3)
         assert node.respond_top_k() is None
+
+    def test_declined_requests_are_counted(self):
+        """The old code incremented vp_requests_answered by 0 on the
+        decline path — a no-op; declines now have their own counter."""
+        node = make_node(b_min=3)
+        node.respond_top_k()
+        node.respond_top_k()
+        assert node.vp_requests_declined == 2
+        assert node.vp_requests_answered == 0
+        self.vote_in(node, 3)
+        node.respond_top_k()
+        assert node.vp_requests_declined == 2
+        assert node.vp_requests_answered == 1
 
     def test_settled_node_responds_with_top_k(self):
         node = make_node(b_min=2, k=3)

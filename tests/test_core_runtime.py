@@ -130,6 +130,37 @@ def test_votes_flow_only_from_experienced_peers():
     assert total_rejects > 0
 
 
+def test_run_summary_exposes_node_counters():
+    trace = always_online_trace()
+    engine, session, runtime = build(trace)
+    m = runtime.ensure_node("p1")
+    m.create_moderation("t-file", "x", now=0.0)
+    for pid in ("p2", "p3"):
+        runtime.ensure_node(pid).set_vote_intention("p1", Vote.POSITIVE)
+    session.start()
+    engine.run_until(4 * HOUR)
+    summary = runtime.run_summary()
+    nodes = summary["nodes"]
+    assert set(nodes) == {
+        "moderations_received",
+        "votes_merged",
+        "votes_rejected_inexperienced",
+        "votes_truncated",
+        "vp_requests_answered",
+        "vp_requests_declined",
+    }
+    # The totals are real sums over the materialised nodes, not zeros
+    # from an unwired counter: gossip moved moderations around, and
+    # early VoxPopuli requests hit bootstrapping nodes, which decline.
+    assert nodes["moderations_received"] > 0
+    assert nodes["vp_requests_declined"] > 0
+    assert nodes["moderations_received"] == sum(
+        n.moderations_received for n in runtime.nodes.values()
+    )
+    # Honest senders truncate at the source, so nothing is clipped.
+    assert nodes["votes_truncated"] == 0
+
+
 def test_always_experienced_baseline_accepts_everything():
     trace = always_online_trace()
     engine, session, runtime = build(trace, experience=AlwaysExperienced())
