@@ -21,6 +21,10 @@ default), then measures on the resulting BarterCast state:
   ``to_matrix`` and the 2-hop flows at paper scale, flow timing for
   both, mirror memory, plus a 10k-node synthetic build that must never
   allocate the O(n²) dense block;
+* **sparse_kernel** — chunked vs CSR sparse flow kernel on a 10k-node
+  graph: bit-identity (always gated, also against the dense path on a
+  small twin), tracemalloc peak memory per batch evaluation (CSR must
+  beat chunked — always gated) and throughput (gated multi-core only);
 * **flow_rows** — serial vs threaded ``FlowMatrixCache`` changed-row
   recompute (bit-identity always, speedup on multi-core machines);
 * **flow_process** — serial vs process-sharded ``FlowMatrixCache``
@@ -350,6 +354,99 @@ def bench_sparse(svc, observers, peers, large_n: int = 10_000) -> dict:
     }
 
 
+def bench_sparse_kernel(
+    seed: int, large_n: int = 10_000, n_sources: int = 512
+) -> dict:
+    """Chunked vs CSR sparse flow kernel on a 10k-node sparse graph.
+
+    The graph is a ring plus skip links plus a high-in-degree sink
+    (every third node votes into it), so the sink's in-column support
+    is wide enough that the kernels do real reduction work.  Reports
+    **bit-identity** (always gated), tracemalloc **peak memory** for
+    one batch evaluation per kernel (the CSR kernel must beat the
+    chunked path — that is the point of never densifying row blocks)
+    and **throughput** (gated multi-core only, like the other speedup
+    legs).  A small dense/sparse twin cross-checks all three paths
+    against each other where the dense block is still affordable.
+    """
+    import tracemalloc
+
+    g = SubjectiveGraph("hub", backend="sparse")
+    for i in range(large_n):
+        g.observe_direct(f"n{i:05d}", f"n{(i + 1) % large_n:05d}", float(i % 23 + 1))
+        if i % 5 == 0:
+            g.observe_direct(f"n{i:05d}", f"n{(i + 7) % large_n:05d}", 2.0)
+        if i % 3 == 0:
+            g.observe_direct(f"n{i:05d}", "sink", float(i % 11 + 1))
+    sources = [f"n{i:05d}" for i in range(0, large_n, max(1, large_n // n_sources))]
+
+    flows = {
+        kernel: two_hop_flows_to_sink(g, sources, "sink", sparse_kernel=kernel)
+        for kernel in ("chunked", "csr", "auto")
+    }
+    bit_identical = np.array_equal(flows["chunked"], flows["csr"]) and np.array_equal(
+        flows["chunked"], flows["auto"]
+    )
+    # "auto" must pick the CSR kernel at this density (~0.015% of n²).
+    density = g.num_edges() / len(g.nodes()) ** 2
+
+    def peak_bytes(kernel: str) -> int:
+        tracemalloc.start()
+        two_hop_flows_to_sink(g, sources, "sink", sparse_kernel=kernel)
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak
+
+    peak_chunked = peak_bytes("chunked")
+    peak_csr = peak_bytes("csr")
+
+    rates = {}
+    for kernel in ("chunked", "csr"):
+        passes, elapsed = _timed_rounds(
+            lambda k=kernel: two_hop_flows_to_sink(g, sources, "sink", sparse_kernel=k)
+        )
+        rates[kernel] = passes / elapsed
+
+    # Small twin where a dense graph is still cheap: all three paths
+    # must agree bit-for-bit with the dense closed form.
+    small_n = 600
+    twin_d = SubjectiveGraph("hub", backend="dense")
+    twin_s = SubjectiveGraph("hub", backend="sparse")
+    rng = np.random.default_rng(seed)
+    small_ids = [f"s{i:04d}" for i in range(small_n)]
+    for _ in range(small_n * 4):
+        u, v = rng.choice(small_n, size=2, replace=False)
+        w = float(rng.integers(1, 700))
+        twin_d.observe_direct(small_ids[u], small_ids[v], w)
+        twin_s.observe_direct(small_ids[u], small_ids[v], w)
+    small_dense = two_hop_flows_to_sink(twin_d, small_ids, small_ids[0])
+    small_identical = all(
+        np.array_equal(
+            small_dense,
+            two_hop_flows_to_sink(twin_s, small_ids, small_ids[0], sparse_kernel=k),
+        )
+        for k in ("chunked", "csr")
+    )
+
+    cpu = os.cpu_count() or 1
+    return {
+        "nodes": large_n,
+        "edges": g.num_edges(),
+        "sources": len(sources),
+        "density": round(density, 6),
+        "bit_identical": bit_identical,
+        "small_scale_bit_identical": small_identical,
+        "chunked_peak_bytes": peak_chunked,
+        "csr_peak_bytes": peak_csr,
+        "peak_memory_ratio": round(peak_chunked / max(1, peak_csr), 2),
+        "chunked_evals_per_s": round(rates["chunked"], 2),
+        "csr_evals_per_s": round(rates["csr"], 2),
+        "speedup": round(rates["csr"] / rates["chunked"], 2),
+        "cpu_count": cpu,
+        "speedup_gate_active": cpu >= 2,
+    }
+
+
 def _synthetic_flow_service(seed: int, n_peers: int):
     """A synthetic BarterCast state big enough that per-row numpy work
     dominates pool startup; returns ``(service, peer order)``."""
@@ -491,6 +588,7 @@ def run(full: bool = False, seed: int = 7, out: Path = None) -> dict:
     batch = bench_batch(svc, observers, list(stack.trace.peers))
     matrix = bench_matrix(svc, observers, list(stack.trace.peers))
     sparse = bench_sparse(svc, observers, list(stack.trace.peers))
+    sparse_kernel = bench_sparse_kernel(seed)
     flow_rows = bench_flow_rows(seed)
     flow_process = bench_flow_process(seed)
     replicas = bench_replicas(seed)
@@ -521,6 +619,7 @@ def run(full: bool = False, seed: int = 7, out: Path = None) -> dict:
         "batch": batch,
         "matrix": matrix,
         "sparse": sparse,
+        "sparse_kernel": sparse_kernel,
         "flow_rows": flow_rows,
         "flow_process": flow_process,
         "replicas": replicas,
@@ -572,6 +671,16 @@ def main(argv=None) -> int:
             f"{large['sparse_mirror_bytes']} bytes — not meaningfully "
             f"under the {large['projected_dense_bytes']}-byte dense block"
         )
+    kernel = report["sparse_kernel"]
+    if not kernel["bit_identical"]:
+        failures.append("CSR flow kernel diverged from chunked on the 10k graph")
+    if not kernel["small_scale_bit_identical"]:
+        failures.append("sparse flow kernels diverged from the dense path")
+    if kernel["csr_peak_bytes"] >= kernel["chunked_peak_bytes"]:
+        failures.append(
+            f"CSR kernel peak memory {kernel['csr_peak_bytes']} bytes does "
+            f"not beat chunked ({kernel['chunked_peak_bytes']} bytes)"
+        )
     replicas = report["replicas"]
     if not replicas["bit_identical"]:
         failures.append("parallel run_many output diverged from sequential")
@@ -584,6 +693,20 @@ def main(argv=None) -> int:
     if not flow_process["counters_identical"]:
         failures.append(
             "process flow-row recomputed/reused counters diverged from serial"
+        )
+    if kernel["speedup_gate_active"]:
+        if kernel["speedup"] < 1.0:
+            failures.append(
+                f"CSR kernel throughput {kernel['speedup']:.2f}x chunked — "
+                f"slower than the path it replaces on "
+                f"{kernel['cpu_count']} cores"
+            )
+    else:
+        print(
+            "SKIP: sparse-kernel speedup gate skipped — single-core "
+            f"runner (cpu_count={kernel['cpu_count']}); bit-identity and "
+            "peak-memory gates still checked",
+            file=sys.stderr,
         )
     if replicas["speedup_gate_active"]:
         if replicas["speedup"] < args.min_replica_speedup:

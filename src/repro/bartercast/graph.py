@@ -151,6 +151,39 @@ class _DenseMirror:
             col[known] = self._W[sel[known], t]
         return col
 
+    def row_nonzeros(
+        self, row_ids: Sequence[str], order: Sequence[str]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR triple ``(indptr, indices, data)`` of the nonzero cells
+        of ``row_ids`` with columns translated to positions in
+        ``order``.  The dense block has no stored-nonzero structure, so
+        this extracts it (O(n) per row) — API parity with the sparse
+        mirror; the flow kernel only picks the CSR path under the
+        sparse backend."""
+        block = self.matrix_rows(row_ids, order)
+        indptr = np.zeros(len(block) + 1, dtype=np.int64)
+        col_parts: List[np.ndarray] = []
+        val_parts: List[np.ndarray] = []
+        for pos in range(len(block)):
+            cols = np.flatnonzero(block[pos])
+            col_parts.append(cols.astype(np.int64, copy=False))
+            val_parts.append(block[pos, cols])
+            indptr[pos + 1] = indptr[pos] + cols.size
+        indices = (
+            np.concatenate(col_parts) if col_parts else np.zeros(0, dtype=np.int64)
+        )
+        data = np.concatenate(val_parts) if val_parts else np.zeros(0, dtype=float)
+        return indptr, indices, data
+
+    def column_nonzeros(
+        self, order: Sequence[str], sink: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sparse view of the sink's in-column: ``(positions, values)``
+        with positions ascending in ``order`` space."""
+        col = self.matrix_column(order, sink)
+        pos = np.flatnonzero(col)
+        return pos, col[pos]
+
     def dense(self) -> Tuple[List[str], np.ndarray]:
         n = len(self._ids)
         view = self._W[:n, :n]
@@ -295,25 +328,22 @@ class _SparseMirror:
                 col[pos] = self._rows[ri][t]
         return col
 
-    def dense(self) -> Tuple[List[str], np.ndarray]:
-        ids = list(self._index)
-        mat = self.to_matrix(ids)
-        mat.setflags(write=False)
-        return ids, mat
+    def row_nonzeros(
+        self, row_ids: Sequence[str], order: Sequence[str]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR triple ``(indptr, indices, data)`` of the stored
+        nonzeros of ``row_ids`` with columns translated to positions in
+        ``order`` — O(row degree) per row, nothing densified.
 
-    def export_payload(self, order: Sequence[str]) -> Dict[str, np.ndarray]:
-        """CSR snapshot of the mirror in ``order`` space for
-        shared-memory publication: ``indptr``/``indices``/``data`` with
-        column indices already translated to positions in ``order``.
-        Densifying row ``r`` as ``row[indices[lo:hi]] = data[lo:hi]``
-        performs exactly the scatter :meth:`matrix_rows` does, so the
-        floats land in the same cells (placement only)."""
-        ids = list(order)
-        colmap = self._colmap(ids)
-        indptr = np.zeros(len(ids) + 1, dtype=np.int64)
+        Column positions *within* a row follow storage order (not
+        sorted); consumers that need the documented sorted-column
+        reduction order scatter into a position-indexed buffer, which
+        imposes it regardless of this iteration order."""
+        colmap = self._colmap(list(order))
+        indptr = np.zeros(len(row_ids) + 1, dtype=np.int64)
         col_parts: List[np.ndarray] = []
         val_parts: List[np.ndarray] = []
-        for pos, pid in enumerate(ids):
+        for pos, pid in enumerate(row_ids):
             slot = self._index.get(pid)
             if slot is None:
                 indptr[pos + 1] = indptr[pos]
@@ -329,6 +359,43 @@ class _SparseMirror:
             np.concatenate(col_parts) if col_parts else np.zeros(0, dtype=np.int64)
         )
         data = np.concatenate(val_parts) if val_parts else np.zeros(0, dtype=float)
+        return indptr, indices, data
+
+    def column_nonzeros(
+        self, order: Sequence[str], sink: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sparse view of the sink's in-column: ``(positions, values)``
+        with positions ascending in ``order`` space — O(in-degree),
+        served from the in-slot index."""
+        t = self._index.get(sink)
+        if t is None:
+            return np.zeros(0, dtype=np.intp), np.zeros(0, dtype=float)
+        colmap = self._colmap(list(order))
+        pairs = [
+            (colmap[ri], self._rows[ri][t])
+            for ri in self._in.get(t, ())
+            if colmap[ri] >= 0
+        ]
+        pairs.sort()
+        pos = np.fromiter((p for p, _v in pairs), dtype=np.intp, count=len(pairs))
+        vals = np.fromiter((v for _p, v in pairs), dtype=float, count=len(pairs))
+        return pos, vals
+
+    def dense(self) -> Tuple[List[str], np.ndarray]:
+        ids = list(self._index)
+        mat = self.to_matrix(ids)
+        mat.setflags(write=False)
+        return ids, mat
+
+    def export_payload(self, order: Sequence[str]) -> Dict[str, np.ndarray]:
+        """CSR snapshot of the mirror in ``order`` space for
+        shared-memory publication: ``indptr``/``indices``/``data`` with
+        column indices already translated to positions in ``order``.
+        Densifying row ``r`` as ``row[indices[lo:hi]] = data[lo:hi]``
+        performs exactly the scatter :meth:`matrix_rows` does, so the
+        floats land in the same cells (placement only)."""
+        ids = list(order)
+        indptr, indices, data = self.row_nonzeros(ids, ids)
         return {"indptr": indptr, "indices": indices, "data": data}
 
 
@@ -593,6 +660,25 @@ class SubjectiveGraph:
         vector (zero for unknown nodes)."""
         return self._mirror.matrix_column(list(order), sink)
 
+    def row_nonzeros(
+        self, row_ids: Sequence[str], order: Sequence[str]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR triple ``(indptr, indices, data)`` of the stored
+        nonzeros of ``row_ids``, columns as positions in ``order`` —
+        the row-access surface of the sparse-to-sparse flow kernel
+        (O(degree) per row under the sparse mirror).  Within-row column
+        order is storage order; see the kernel's reduction contract in
+        :func:`repro.bartercast.maxflow.two_hop_flows_to_sink`."""
+        return self._mirror.row_nonzeros(list(row_ids), list(order))
+
+    def column_nonzeros(
+        self, order: Sequence[str], sink: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sparse in-column view: ``(positions, weights)`` of the
+        nodes with an edge *into* ``sink``, positions ascending in
+        ``order`` space (O(in-degree) under the sparse mirror)."""
+        return self._mirror.column_nonzeros(list(order), sink)
+
     def dense(self) -> Tuple[List[str], np.ndarray]:
         """The internal node order and the full weight matrix.
 
@@ -654,6 +740,14 @@ class SharedGraphView:
     def nodes(self) -> Set[str]:
         return set(self._ids)
 
+    def num_edges(self) -> int:
+        """Stored-edge count of the snapshot (the sparse-kernel
+        density heuristic reads it, exactly as it reads the live
+        graph's)."""
+        if self._kind == "dense":
+            return int(np.count_nonzero(self._arrays["W"]))
+        return int(self._arrays["data"].size)
+
     @property
     def matrix_backend(self) -> str:
         return self._kind
@@ -710,6 +804,76 @@ class SharedGraphView:
             rows = np.repeat(np.arange(n, dtype=np.intp), np.diff(indptr))
             col[rows[hit]] = data[hit]
         return col
+
+    def row_nonzeros(
+        self, row_ids: Sequence[str], order: Sequence[str]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR triple for ``row_ids`` — under the sparse kind this
+        *slices the already-shipped CSR segment arrays* (no copy of the
+        weight data beyond the requested rows), which is what lets shm
+        workers run the sparse-to-sparse kernel directly over shared
+        memory."""
+        self._check_order(order)
+        if self._kind == "dense":
+            W = self._arrays["W"]
+            indptr = np.zeros(len(row_ids) + 1, dtype=np.int64)
+            col_parts: List[np.ndarray] = []
+            val_parts: List[np.ndarray] = []
+            for pos, pid in enumerate(row_ids):
+                r = self._pos.get(pid)
+                if r is None:
+                    indptr[pos + 1] = indptr[pos]
+                    continue
+                cols = np.flatnonzero(W[r])
+                col_parts.append(cols.astype(np.int64, copy=False))
+                val_parts.append(W[r, cols])
+                indptr[pos + 1] = indptr[pos] + cols.size
+        else:
+            src_indptr = self._arrays["indptr"]
+            src_indices = self._arrays["indices"]
+            src_data = self._arrays["data"]
+            indptr = np.zeros(len(row_ids) + 1, dtype=np.int64)
+            col_parts = []
+            val_parts = []
+            for pos, pid in enumerate(row_ids):
+                r = self._pos.get(pid)
+                if r is None:
+                    indptr[pos + 1] = indptr[pos]
+                    continue
+                lo, hi = src_indptr[r], src_indptr[r + 1]
+                col_parts.append(src_indices[lo:hi])
+                val_parts.append(src_data[lo:hi])
+                indptr[pos + 1] = indptr[pos] + (hi - lo)
+        indices = (
+            np.concatenate(col_parts) if col_parts else np.zeros(0, dtype=np.int64)
+        )
+        data = np.concatenate(val_parts) if val_parts else np.zeros(0, dtype=float)
+        return indptr, indices, data
+
+    def column_nonzeros(
+        self, order: Sequence[str], sink: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sparse in-column view ``(positions, values)``, positions
+        ascending — served from the shipped arrays without building the
+        dense column."""
+        self._check_order(order)
+        t = self._pos.get(sink)
+        if t is None:
+            return np.zeros(0, dtype=np.intp), np.zeros(0, dtype=float)
+        if self._kind == "dense":
+            col = self._arrays["W"][:, t]
+            pos = np.flatnonzero(col)
+            return pos, np.ascontiguousarray(col[pos])
+        indptr = self._arrays["indptr"]
+        indices = self._arrays["indices"]
+        data = self._arrays["data"]
+        hit = indices == t
+        rows = np.repeat(
+            np.arange(len(self._ids), dtype=np.intp), np.diff(indptr)
+        )
+        # ``rows`` ascends with the CSR layout, so the hit positions
+        # come out already sorted (a row stores each column once).
+        return rows[hit], data[hit]
 
     def release(self) -> None:
         """Drop every array reference so the backing shared-memory

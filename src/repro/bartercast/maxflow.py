@@ -22,9 +22,19 @@ import numpy as np
 
 from repro.bartercast.graph import SubjectiveGraph
 
-#: Row-block size for the sparse-backend batch flow evaluation: peak
-#: extra memory is ``chunk · n`` floats instead of the dense ``n²``.
+#: Row-block size for the chunked sparse-backend batch flow
+#: evaluation: peak extra memory is ``chunk · n`` floats instead of the
+#: dense ``n²``.
 _SPARSE_FLOW_CHUNK = 256
+
+#: Kernel choices for the sparse-backend batch flow evaluation.
+SPARSE_FLOW_KERNELS = ("chunked", "csr", "auto")
+
+#: ``sparse_kernel="auto"`` picks the CSR×column kernel while the
+#: graph's stored edges cover at most this fraction of the ``n²``
+#: cells; denser graphs keep the chunked row blocks, whose per-block
+#: numpy ops amortise better once most cells are nonzero anyway.
+_CSR_DENSITY_CUTOFF = 0.25
 
 
 def two_hop_flow(graph: SubjectiveGraph, source: str, sink: str) -> float:
@@ -46,35 +56,57 @@ def two_hop_flow(graph: SubjectiveGraph, source: str, sink: str) -> float:
 
 
 def two_hop_flows_to_sink(
-    graph: SubjectiveGraph, sources: Sequence[str], sink: str
+    graph: SubjectiveGraph,
+    sources: Sequence[str],
+    sink: str,
+    sparse_kernel: str = "auto",
 ) -> np.ndarray:
     """``f(s→sink)`` for every ``s`` in ``sources`` (2-hop bound).
 
-    Vectorised closed form: one dense weight matrix ``W`` over the
-    union of the graph's nodes, the sink and the sources, then
-    ``f(s→t) = W[s,t] + Σ_k min(W[s,k], W[k,t])`` as a single numpy
-    ``minimum`` + row ``sum``.  Column ``t`` of the minimum matrix is
-    ``min(W[s,t], W[t,t]=0) = 0`` and the diagonal contributes
-    ``min(W[s,s]=0, ·) = 0``, so the direct edge is never double
-    counted and ``k = s`` never contributes.  Intermediates range over
-    *all* graph nodes, exactly as in :func:`two_hop_flow`; the node
-    order is sorted so results are reproducible across processes.
+    Closed form per source: ``f(s→t) = w(s,t) + Σ_k min(w(s,k),
+    w(k,t))``.  Intermediates range over *all* graph nodes, exactly as
+    in :func:`two_hop_flow`; the node order is sorted so results are
+    reproducible across processes.
 
-    Under the sparse graph backend the same formula is evaluated over
-    chunked dense *row blocks* (sources only) against the sink's dense
-    column, so no full ``n × n`` matrix is ever materialised.  The
-    per-row reduction is identical either way — numpy's pairwise sum
-    over one row does not depend on the other rows — so the two paths
-    are **bit-identical** (gated in ``make bench-smoke``).
+    **Reduction-order contract.** Every evaluation path reduces the
+    ``min`` terms the same way: terms are laid out over the **sink's
+    in-column support** (the positions ``k`` with ``w(k,t) > 0``, in
+    ascending sorted-node-order position — ``min(·, 0) = 0`` makes any
+    other ``k`` an exact zero) and summed by numpy's pairwise
+    reduction over that contiguous layout; the direct edge is then
+    added as one scalar.  A term's value and its slot in the layout
+    are independent of which path produced them, so the dense path,
+    the chunked sparse path and the CSR kernel — locally, in threads,
+    or in shm worker processes — are **bit-identical** (gated in
+    ``make bench-smoke``).
+
+    ``sparse_kernel`` selects the sparse-backend evaluation:
+    ``"chunked"`` densifies row blocks (O(chunk · n) peak memory),
+    ``"csr"`` is the sparse-to-sparse kernel that touches only each
+    row's stored nonzeros against the sink's in-column (O(n) peak) and
+    ``"auto"`` (default) picks CSR below an edge-density cutoff.
+    Ignored under the dense backend.
     """
+    if sparse_kernel not in SPARSE_FLOW_KERNELS:
+        raise ValueError(
+            f"sparse_kernel must be one of {SPARSE_FLOW_KERNELS}, "
+            f"got {sparse_kernel!r}"
+        )
     ids = sorted(graph.nodes() | {sink} | set(sources))
     idx = {p: i for i, p in enumerate(ids)}
     t = idx[sink]
     if graph.matrix_backend == "sparse":
+        if sparse_kernel == "auto":
+            density = graph.num_edges() / max(1, len(ids)) ** 2
+            sparse_kernel = "csr" if density <= _CSR_DENSITY_CUTOFF else "chunked"
+        if sparse_kernel == "csr":
+            return _two_hop_flows_csr(graph, list(sources), sink, ids, idx, t)
         return _two_hop_flows_sparse(graph, list(sources), sink, ids, idx, t)
     W = graph.to_matrix(ids)
     col = W[:, t]
-    flows = col + np.minimum(W, col[None, :]).sum(axis=1)
+    support = np.flatnonzero(col)
+    colv = np.ascontiguousarray(col[support])
+    flows = col + np.minimum(W[:, support], colv[None, :]).sum(axis=1)
     flows[t] = 0.0
     return flows[[idx[s] for s in sources]]
 
@@ -88,17 +120,72 @@ def _two_hop_flows_sparse(
     t: int,
 ) -> np.ndarray:
     """Chunked evaluation of the 2-hop closed form for sparse graphs:
-    O(chunk · n) peak memory, bit-identical to the dense path."""
+    dense row blocks of at most ``_SPARSE_FLOW_CHUNK`` sources, so peak
+    memory is O(chunk · n) instead of the dense n².  The min terms are
+    sliced down to the sink's in-column support before the row sum, so
+    the reduction layout — and therefore every bit — matches the dense
+    path and the CSR kernel."""
     n_src = len(sources)
     col = graph.matrix_column(ids, sink)
+    support = np.flatnonzero(col)
+    colv = np.ascontiguousarray(col[support])
     spos = np.fromiter((idx[s] for s in sources), dtype=np.intp, count=n_src)
     flows = np.empty(n_src, dtype=float)
     for start in range(0, n_src, _SPARSE_FLOW_CHUNK):
         stop = min(start + _SPARSE_FLOW_CHUNK, n_src)
         block = graph.matrix_rows(sources[start:stop], ids)
         flows[start:stop] = col[spos[start:stop]] + np.minimum(
-            block, col[None, :]
+            block[:, support], colv[None, :]
         ).sum(axis=1)
+    flows[spos == t] = 0.0
+    return flows
+
+
+def _two_hop_flows_csr(
+    graph: SubjectiveGraph,
+    sources: Sequence[str],
+    sink: str,
+    ids: Sequence[str],
+    idx: Dict[str, int],
+    t: int,
+) -> np.ndarray:
+    """Sparse-to-sparse 2-hop kernel: CSR rows × sparse in-column.
+
+    Per source row, only the row's stored nonzeros
+    (:meth:`~repro.bartercast.graph.SubjectiveGraph.row_nonzeros`) are
+    intersected with the sink's in-column support
+    (:meth:`~repro.bartercast.graph.SubjectiveGraph.column_nonzeros`)
+    — no dense row block is ever materialised, so peak extra memory is
+    O(n) scratch (the support buffer plus two translation arrays)
+    against the chunked path's O(chunk · n) blocks.
+
+    Bit-identity with the other paths comes from the scatter buffer:
+    min terms land at their in-column-support slot and the buffer is
+    pairwise-summed in that fixed ascending-position layout, identical
+    to the row layout the dense/chunked paths reduce over.  The
+    scatter order (rows iterate stored nonzeros in storage order) is
+    irrelevant — each slot is written at most once per row."""
+    n = len(ids)
+    n_src = len(sources)
+    cpos, cvals = graph.column_nonzeros(ids, sink)
+    # Dense direct-edge lookup and support-slot translation: O(n)
+    # scratch, built once per sink.
+    direct = np.zeros(n)
+    direct[cpos] = cvals
+    slot_of = np.full(n, -1, dtype=np.intp)
+    slot_of[cpos] = np.arange(cpos.size, dtype=np.intp)
+    indptr, indices, data = graph.row_nonzeros(sources, ids)
+    buf = np.zeros(cpos.size)
+    spos = np.fromiter((idx[s] for s in sources), dtype=np.intp, count=n_src)
+    flows = np.empty(n_src, dtype=float)
+    for i in range(n_src):
+        lo, hi = indptr[i], indptr[i + 1]
+        slots = slot_of[indices[lo:hi]]
+        keep = slots >= 0
+        hit = slots[keep]
+        buf[hit] = np.minimum(data[lo:hi][keep], cvals[hit])
+        flows[i] = direct[spos[i]] + buf.sum()
+        buf[hit] = 0.0
     flows[spos == t] = 0.0
     return flows
 

@@ -73,6 +73,33 @@ class BallotBox:
             self._last_received.pop(victim, None)
             self._voter_order.pop(victim, None)
 
+    def restore_voter(
+        self,
+        voter: str,
+        votes: Iterable[Tuple[str, Vote, float]],
+        last_received: float,
+    ) -> None:
+        """Reinstall one voter's saved state (persistence restore path).
+
+        ``votes`` is ``(moderator, vote, received_at)`` triples exactly
+        as :meth:`votes_of` reported them.  The voter is appended at the
+        *end* of the recency order, so calling this oldest-first (the
+        order :meth:`voters_by_recency` yields) reproduces the saved
+        box's relative eviction order — which is all `B_max` eviction
+        ever compares.  Self-votes are dropped as in :meth:`merge`."""
+        stored = {
+            moderator: (Vote(vote), received_at)
+            for moderator, vote, received_at in votes
+            if moderator != voter
+        }
+        if not stored:
+            return
+        self._votes[voter] = stored
+        self._last_received[voter] = last_received
+        self._seq += 1
+        self._voter_order[voter] = self._seq
+        self._evict()
+
     def remove_voter(self, voter: str) -> bool:
         """Drop all votes from one peer (e.g. identity revoked)."""
         if voter not in self._votes:
@@ -89,6 +116,25 @@ class BallotBox:
 
     def voters(self) -> List[str]:
         return sorted(self._votes)
+
+    def voters_by_recency(self) -> List[str]:
+        """Voters ordered oldest-received first — the order `B_max`
+        eviction consumes them (persistence saves in this order so a
+        restored box evicts the same victims)."""
+        return sorted(self._votes, key=lambda v: self._voter_order[v])
+
+    def votes_of(self, voter: str) -> List[Tuple[str, Vote, float]]:
+        """One voter's stored ``(moderator, vote, received_at)``
+        triples — a single pass over the voter's votes, no per-moderator
+        probing."""
+        return [
+            (moderator, vote, received_at)
+            for moderator, (vote, received_at) in self._votes.get(voter, {}).items()
+        ]
+
+    def last_received_of(self, voter: str) -> float:
+        """When the voter's votes last arrived (0.0 if unknown)."""
+        return self._last_received.get(voter, 0.0)
 
     def moderators(self) -> List[str]:
         out = set()

@@ -10,6 +10,21 @@ cache, pending vote intentions) through plain JSON.
 Volatile state is deliberately *not* persisted: protocol processes,
 online flags and instrumentation counters restart fresh, exactly as a
 client reboot would leave them.
+
+Format history
+--------------
+* **v2** (current): ballot-box state is saved *per voter*, oldest
+  received first, as ``{"voter", "last_received", "votes": [[moderator,
+  vote, received_at], ...]}`` — both the per-vote ``received_at`` and
+  the per-voter recency survive the round trip, so a restored box picks
+  the same ``B_max`` eviction victims (oldest first) the live box would
+  have.
+* **v1** (still loadable): ballot entries were flat
+  ``{"voter", "moderator", "vote"}`` records with no timestamps.
+  **Caveat:** a v1 restore re-merges every voter at ``now=0.0`` in
+  alphabetical order, so all recency is lost and subsequent ``B_max``
+  evictions pick victims alphabetically until fresh merges rebuild real
+  recency — exactly the pre-v2 behaviour, preserved for old saves.
 """
 
 from __future__ import annotations
@@ -25,7 +40,11 @@ from repro.core.node import NodeConfig, VoteSamplingNode
 from repro.core.votes import Vote, VoteEntry
 
 PathLike = Union[str, Path]
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Formats :func:`node_from_dict` can still read (v1 loses ballot-box
+#: recency; see the module docstring's format history).
+_SUPPORTED_FORMATS = (1, 2)
 
 
 def node_to_dict(node: VoteSamplingNode) -> Dict[str, Any]:
@@ -47,12 +66,19 @@ def node_to_dict(node: VoteSamplingNode) -> Dict[str, Any]:
         {"moderator": e.moderator_id, "vote": int(e.vote), "cast_at": e.cast_at}
         for e in node.vote_list.entries()
     ]
-    ballot = []
-    for voter in node.ballot_box.voters():
-        for moderator in node.ballot_box.moderators():
-            v = node.ballot_box.vote_of(voter, moderator)
-            if v is not None:
-                ballot.append({"voter": voter, "moderator": moderator, "vote": int(v)})
+    # One pass over the stored votes (votes_of), voters oldest-received
+    # first so the restore path can replay them in recency order.
+    ballot = [
+        {
+            "voter": voter,
+            "last_received": node.ballot_box.last_received_of(voter),
+            "votes": [
+                [moderator, int(vote), received_at]
+                for moderator, vote, received_at in node.ballot_box.votes_of(voter)
+            ],
+        }
+        for voter in node.ballot_box.voters_by_recency()
+    ]
     return {
         "format": FORMAT_VERSION,
         "peer_id": node.peer_id,
@@ -70,7 +96,7 @@ def node_to_dict(node: VoteSamplingNode) -> Dict[str, Any]:
         "moderations": moderations,
         "votes": votes,
         "ballot": ballot,
-        "topk_lists": [list(lst) for lst in node.topk_cache._lists],
+        "topk_lists": node.topk_cache.lists(),
         "intentions": {m: int(v) for m, v in node.vote_intentions.items()},
     }
 
@@ -78,9 +104,13 @@ def node_to_dict(node: VoteSamplingNode) -> Dict[str, Any]:
 def node_from_dict(
     data: Dict[str, Any], rng: Union[np.random.Generator, None] = None
 ) -> VoteSamplingNode:
-    """Reconstruct a node from :func:`node_to_dict` output."""
-    if data.get("format") != FORMAT_VERSION:
-        raise ValueError(f"unsupported node-state format {data.get('format')!r}")
+    """Reconstruct a node from :func:`node_to_dict` output.
+
+    Reads the current v2 format and legacy v1; a v1 restore loses
+    ballot-box recency (see the module docstring's format history)."""
+    fmt = data.get("format")
+    if fmt not in _SUPPORTED_FORMATS:
+        raise ValueError(f"unsupported node-state format {fmt!r}")
     config = NodeConfig(**data["config"])
     node = VoteSamplingNode(
         data["peer_id"], config, rng if rng is not None else np.random.default_rng(0)
@@ -90,14 +120,30 @@ def node_from_dict(
         node.store.insert(Moderation(**rec), received_at or 0.0)
     for rec in data["votes"]:
         node.vote_list.cast(rec["moderator"], Vote(rec["vote"]), rec["cast_at"])
-    # Group ballot entries per voter so merges preserve voter identity.
-    per_voter: Dict[str, list] = {}
-    for rec in data["ballot"]:
-        per_voter.setdefault(rec["voter"], []).append(
-            VoteEntry(rec["moderator"], Vote(rec["vote"]), 0.0)
-        )
-    for voter, entries in per_voter.items():
-        node.ballot_box.merge(voter, entries, now=0.0)
+    if fmt >= 2:
+        # Voters were saved oldest-received first; restore_voter appends
+        # at the end of the recency order, so replaying in file order
+        # reproduces the saved box's relative eviction order exactly.
+        for rec in data["ballot"]:
+            node.ballot_box.restore_voter(
+                rec["voter"],
+                [
+                    (moderator, Vote(vote), received_at)
+                    for moderator, vote, received_at in rec["votes"]
+                ],
+                rec["last_received"],
+            )
+    else:
+        # v1: flat entries without timestamps.  Group per voter so
+        # merges preserve voter identity; recency is unrecoverable
+        # (every voter re-merges at now=0.0, alphabetically).
+        per_voter: Dict[str, list] = {}
+        for rec in data["ballot"]:
+            per_voter.setdefault(rec["voter"], []).append(
+                VoteEntry(rec["moderator"], Vote(rec["vote"]), 0.0)
+            )
+        for voter, entries in per_voter.items():
+            node.ballot_box.merge(voter, entries, now=0.0)
     for lst in data["topk_lists"]:
         node.topk_cache.add(lst)
     for moderator, vote in data["intentions"].items():

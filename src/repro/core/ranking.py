@@ -70,21 +70,34 @@ def merge_rank_lists(lists: Sequence[Sequence[str]], k: int) -> Ranking:
     absent.  Lower average rank is better; the returned scores are the
     *negated* average ranks so that "higher score = better" matches the
     other ranking functions.
+
+    A moderator id repeated inside one list (malformed or hostile
+    response — :meth:`TopKCache.add` already dedups, this guards direct
+    callers) counts once per list, at its *first* occurrence's rank:
+    later duplicates neither add rank mass nor shift the ranks of the
+    ids behind them beyond the positions the duplicates occupy.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
     if not lists:
         return []
-    seen: Dict[str, float] = {}
     n = len(lists)
+    rank_sum: Dict[str, float] = {}
+    appearances: Dict[str, int] = {}
     for lst in lists:
-        for pos, m in enumerate(lst[:k], start=1):
-            seen[m] = seen.get(m, 0.0) + pos
-    out: Ranking = []
-    for m, partial in seen.items():
-        appearances = sum(1 for lst in lists if m in lst[:k])
-        avg = (partial + (n - appearances) * (k + 1)) / n
-        out.append((m, -avg))
+        ranked: Dict[str, int] = {}
+        for m in lst:
+            if m not in ranked:
+                ranked[m] = len(ranked) + 1
+                if len(ranked) >= k:
+                    break
+        for m, pos in ranked.items():
+            rank_sum[m] = rank_sum.get(m, 0.0) + pos
+            appearances[m] = appearances.get(m, 0) + 1
+    out: Ranking = [
+        (m, -(partial + (n - appearances[m]) * (k + 1)) / n)
+        for m, partial in rank_sum.items()
+    ]
     out.sort(key=lambda ms: (-ms[1], ms[0]))
     return out
 

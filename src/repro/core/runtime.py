@@ -76,6 +76,10 @@ class RuntimeConfig:
     #: (node count at which ``"auto"`` graphs switch to the sparse
     #: mirror).  When set it overrides ``bartercast``.
     sparse_graph_threshold: Optional[int] = None
+    #: Convenience mirror of ``BarterCastConfig.sparse_flow_kernel``
+    #: (``"chunked"`` / ``"csr"`` / ``"auto"`` batch flow kernel under
+    #: the sparse graph backend).  When set it overrides ``bartercast``.
+    sparse_flow_kernel: Optional[str] = None
     #: Probability that any protocol exchange fails (connection reset,
     #: NAT timeout, …) beyond what churn already causes.  Failure
     #: injection for robustness tests; 0 in the paper's experiments.
@@ -107,6 +111,12 @@ class RuntimeConfig:
             raise ValueError("graph_backend must be dense, sparse or auto")
         if self.sparse_graph_threshold is not None and self.sparse_graph_threshold < 0:
             raise ValueError("sparse_graph_threshold must be >= 0")
+        if self.sparse_flow_kernel is not None and self.sparse_flow_kernel not in (
+            "chunked",
+            "csr",
+            "auto",
+        ):
+            raise ValueError("sparse_flow_kernel must be chunked, csr or auto")
 
 
 NodeFactory = Callable[[str], VoteSamplingNode]
@@ -150,6 +160,8 @@ class ProtocolRuntime:
             overrides["graph_backend"] = self.config.graph_backend
         if self.config.sparse_graph_threshold is not None:
             overrides["sparse_graph_threshold"] = self.config.sparse_graph_threshold
+        if self.config.sparse_flow_kernel is not None:
+            overrides["sparse_flow_kernel"] = self.config.sparse_flow_kernel
         if overrides:
             bartercast_config = replace(bartercast_config, **overrides)
         self.bartercast = BarterCastService(self.pss, bartercast_config)

@@ -26,10 +26,21 @@ class TopKCache:
         self._lists: Deque[List[str]] = deque(maxlen=v_max)
 
     def add(self, top_k_list: Sequence[str]) -> None:
-        """Cache one received list (truncated to K; empty ignored)."""
-        trimmed = list(top_k_list)[: self.k]
+        """Cache one received list (deduplicated on first occurrence,
+        then truncated to K; empty ignored).
+
+        Dedup happens *before* truncation, so a malformed or hostile
+        response padded with repeats of one id cannot crowd the other
+        ids out of the cached window or hand that id extra rank mass in
+        :meth:`merged_ranking`."""
+        trimmed = list(dict.fromkeys(top_k_list))[: self.k]
         if trimmed:
             self._lists.append(trimmed)
+
+    def lists(self) -> List[List[str]]:
+        """Copies of the cached lists, oldest first — the public read
+        surface (persistence uses it; the deque stays private)."""
+        return [list(lst) for lst in self._lists]
 
     def merged_ranking(self) -> Ranking:
         """Rank-average merge of every cached list."""

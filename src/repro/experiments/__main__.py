@@ -39,13 +39,24 @@ def _quick_trace(duration: float) -> TraceGeneratorConfig:
     return TraceGeneratorConfig(n_peers=50, n_swarms=6, duration=duration)
 
 
+def _bartercast_overrides(args) -> dict:
+    """The CLI's non-default BarterCast knobs as RuntimeConfig kwargs."""
+    overrides = {}
+    if args.graph_backend is not None:
+        overrides["graph_backend"] = args.graph_backend
+    if args.sparse_kernel is not None:
+        overrides["sparse_flow_kernel"] = args.sparse_kernel
+    return overrides
+
+
 def _runtime_overrides(args) -> "RuntimeConfig | None":
     """A RuntimeConfig carrying the CLI's BarterCast knobs, or None
     when every knob is at its default (keeping configs bit-identical
     to the pre-flag code path)."""
-    if args.graph_backend is None:
+    overrides = _bartercast_overrides(args)
+    if not overrides:
         return None
-    return RuntimeConfig(graph_backend=args.graph_backend)
+    return RuntimeConfig(**overrides)
 
 
 def run_fig5(args) -> None:
@@ -69,13 +80,14 @@ def run_fig5(args) -> None:
 def run_fig6(args) -> None:
     duration = 1.5 * DAY if args.quick else 7 * DAY
     cfg = VoteSamplingConfig(seed=args.seed, duration=duration)
-    if args.graph_backend is not None:
+    overrides = _bartercast_overrides(args)
+    if overrides:
         # Mirror the experiment's own defaults, adding only the
-        # requested backend override.
+        # requested BarterCast overrides.
         cfg.runtime = RuntimeConfig(
             node=cfg.node,
             experience_threshold=cfg.experience_threshold,
-            graph_backend=args.graph_backend,
+            **overrides,
         )
     if args.quick:
         cfg.trace = _quick_trace(duration)
@@ -171,6 +183,15 @@ def main(argv=None) -> int:
         help="subjective-graph matrix backend (default: the service's "
         "auto setting — dense at paper scale, sparse past the "
         "node-count threshold)",
+    )
+    parser.add_argument(
+        "--sparse-kernel",
+        choices=["auto", "chunked", "csr"],
+        default=None,
+        help="batch flow kernel under the sparse graph backend: "
+        "chunked dense row blocks, the sparse-to-sparse CSR kernel, "
+        "or auto density-based selection (bit-identical either way; "
+        "ignored under the dense backend)",
     )
     parser.add_argument(
         "--flow-jobs",

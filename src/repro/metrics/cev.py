@@ -204,10 +204,14 @@ class FlowMatrixCache:
         bartercast = self.bartercast
         peers = self.peers
 
+        kernel = bartercast.config.sparse_flow_kernel
+
         def compute(item: Tuple[int, str, int]) -> Tuple[int, int, np.ndarray]:
             row, observer, version = item
             graph = bartercast.graph_of(observer)
-            return row, version, two_hop_flows_to_sink(graph, peers, observer)
+            return row, version, two_hop_flows_to_sink(
+                graph, peers, observer, sparse_kernel=kernel
+            )
 
         chunksize = max(1, -(-len(stale) // workers))
         with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -220,7 +224,11 @@ class FlowMatrixCache:
         :class:`~repro.sim.parallel.FlowRowPool` (started lazily on
         first use, shut down by :meth:`close` or the finalizer)."""
         if self._row_pool is None:
-            self._row_pool = FlowRowPool(self.peers, jobs=self.jobs)
+            self._row_pool = FlowRowPool(
+                self.peers,
+                jobs=self.jobs,
+                sparse_kernel=self.bartercast.config.sparse_flow_kernel,
+            )
             self._finalizer = weakref.finalize(self, self._row_pool.close)
         rows = self._row_pool.run_rows(
             [

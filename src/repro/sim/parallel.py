@@ -380,7 +380,7 @@ def _flow_row_task(task) -> int:
     from repro.bartercast.graph import SharedGraphView
     from repro.bartercast.maxflow import two_hop_flows_to_sink
 
-    index, sink, kind, graph_spec, result_spec = task
+    index, sink, kind, graph_spec, result_spec, sparse_kernel = task
     if os.environ.get(_FLOW_CRASH_ENV):
         os._exit(2)
     assert _FLOW_WORKER_PEERS is not None, "worker initializer did not run"
@@ -390,7 +390,9 @@ def _flow_row_task(task) -> int:
         ids_blob = bytes(seg.arrays.pop("ids"))
         ids = ids_blob.decode("utf-8").split("\n") if ids_blob else []
         view = SharedGraphView(ids, kind, seg.arrays)
-        flows = two_hop_flows_to_sink(view, _FLOW_WORKER_PEERS, sink)
+        flows = two_hop_flows_to_sink(
+            view, _FLOW_WORKER_PEERS, sink, sparse_kernel=sparse_kernel
+        )
     finally:
         if view is not None:
             view.release()
@@ -426,13 +428,20 @@ class FlowRowPool:
         peers: Sequence[str],
         jobs: Optional[int] = None,
         start_method: str = "spawn",
+        sparse_kernel: str = "auto",
     ):
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1 (or None for auto)")
+        if sparse_kernel not in ("chunked", "csr", "auto"):
+            raise ValueError(
+                f"sparse_kernel must be 'chunked', 'csr' or 'auto', "
+                f"got {sparse_kernel!r}"
+            )
         self.peers: List[str] = list(peers)
         self._peer_set = set(self.peers)
         self.jobs = jobs
         self.start_method = start_method
+        self.sparse_kernel = sparse_kernel
         self._executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
@@ -487,7 +496,9 @@ class FlowRowPool:
                     "\n".join(ids).encode("utf-8"), dtype=np.uint8
                 )
                 spec = spool.publish(arrays)
-                tasks.append((i, sink, kind, spec, result_spec))
+                tasks.append(
+                    (i, sink, kind, spec, result_spec, self.sparse_kernel)
+                )
             executor = self._ensure_executor(workers)
             chunksize = max(1, -(-len(tasks) // workers))
             try:

@@ -1,0 +1,129 @@
+"""Cross-backend/kernels property tests for the batch 2-hop flow.
+
+The load-bearing contract (see ``two_hop_flows_to_sink``): the dense
+path, the chunked sparse path and the sparse-to-sparse CSR kernel all
+reduce the min terms over the sink's in-column support in the same
+fixed order, so their flows are **bit-identical** — on live graphs, on
+shared-memory views, and across the thread/process execution tiers.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.bartercast.graph import SubjectiveGraph
+from repro.bartercast.maxflow import (
+    edmonds_karp,
+    two_hop_flow,
+    two_hop_flows_to_sink,
+)
+from repro.bartercast.protocol import BarterCastConfig
+from repro.core.runtime import RuntimeConfig
+from repro.sim.parallel import FlowRowPool
+
+PEERS = [f"p{i:02d}" for i in range(24)]
+
+
+def random_graph(owner, backend, seed, max_nodes=0):
+    """Random subjective graph over PEERS plus strangers; a nonzero
+    ``max_nodes`` forces B_max-style evictions along the way."""
+    rng = random.Random(seed)
+    ids = PEERS + [f"x{i}" for i in range(8)]
+    g = SubjectiveGraph(owner, backend=backend, max_nodes=max_nodes)
+    for _ in range(150):
+        u, v = rng.sample(ids, 2)
+        g.observe_direct(u, v, float(rng.randint(1, 900)))
+    return g
+
+
+class TestKernelBitIdentity:
+    @pytest.mark.parametrize("max_nodes", [0, 18])
+    def test_dense_chunked_csr_bit_identical(self, max_nodes):
+        """Randomized property (with and without evictions): all three
+        kernels produce byte-for-byte equal flows."""
+        for seed in range(6):
+            sink = PEERS[seed % len(PEERS)]
+            gd = random_graph(sink, "dense", seed, max_nodes)
+            gs = random_graph(sink, "sparse", seed, max_nodes)
+            dense = two_hop_flows_to_sink(gd, PEERS, sink)
+            chunked = two_hop_flows_to_sink(gs, PEERS, sink, sparse_kernel="chunked")
+            csr = two_hop_flows_to_sink(gs, PEERS, sink, sparse_kernel="csr")
+            auto = two_hop_flows_to_sink(gs, PEERS, sink, sparse_kernel="auto")
+            np.testing.assert_array_equal(dense, chunked)
+            np.testing.assert_array_equal(dense, csr)
+            np.testing.assert_array_equal(dense, auto)
+
+    def test_flows_match_bounded_maxflow(self):
+        """Spot-check every kernel against edmonds_karp(max_hops=2) and
+        the scalar closed form (float tolerance: summation order of the
+        scalar path differs by design)."""
+        g = random_graph("p00", "sparse", 3)
+        for kernel in ("chunked", "csr"):
+            flows = two_hop_flows_to_sink(g, PEERS, "p00", sparse_kernel=kernel)
+            for s in PEERS[:8]:
+                want = edmonds_karp(g, s, "p00", max_hops=2)
+                assert flows[PEERS.index(s)] == pytest.approx(want)
+                assert flows[PEERS.index(s)] == pytest.approx(
+                    two_hop_flow(g, s, "p00")
+                )
+
+    def test_kernel_ignored_on_dense_backend(self):
+        g = random_graph("p01", "dense", 4)
+        base = two_hop_flows_to_sink(g, PEERS, "p01")
+        for kernel in ("chunked", "csr"):
+            np.testing.assert_array_equal(
+                base, two_hop_flows_to_sink(g, PEERS, "p01", sparse_kernel=kernel)
+            )
+
+    def test_unknown_sink_and_unknown_sources(self):
+        g = SubjectiveGraph("obs", backend="sparse")
+        g.observe_direct("a", "b", 10.0)
+        for kernel in ("chunked", "csr"):
+            flows = two_hop_flows_to_sink(
+                g, ["a", "ghost", "nowhere"], "nowhere", sparse_kernel=kernel
+            )
+            np.testing.assert_array_equal(flows, np.zeros(3))
+
+    def test_invalid_kernel_rejected(self):
+        g = SubjectiveGraph("obs", backend="sparse")
+        with pytest.raises(ValueError, match="sparse_kernel"):
+            two_hop_flows_to_sink(g, ["a"], "b", sparse_kernel="dense")
+
+
+class TestProcessTierKernels:
+    @pytest.mark.parametrize("kernel", ["chunked", "csr"])
+    def test_process_rows_bit_identical_over_sparse_kernel(self, kernel):
+        """executor="process" rows (shm workers) run the selected kernel
+        over already-shipped CSR segments, bit-identical to serial."""
+        stale = [
+            (i, PEERS[i], random_graph(PEERS[i], "sparse", 31 + i, max_nodes=20))
+            for i in range(3)
+        ]
+        with FlowRowPool(PEERS, jobs=2, sparse_kernel=kernel) as pool:
+            rows = pool.run_rows(stale)
+        for (row, values), (_, sink, g) in zip(rows, stale):
+            np.testing.assert_array_equal(
+                values, two_hop_flows_to_sink(g, PEERS, sink, sparse_kernel=kernel)
+            )
+            np.testing.assert_array_equal(
+                values, two_hop_flows_to_sink(g, PEERS, sink, sparse_kernel="chunked")
+            )
+
+    def test_invalid_pool_kernel_rejected(self):
+        with pytest.raises(ValueError, match="sparse_kernel"):
+            FlowRowPool(PEERS, sparse_kernel="nope")
+
+
+class TestKernelConfigPlumbing:
+    def test_bartercast_config_validates_kernel(self):
+        assert BarterCastConfig().sparse_flow_kernel == "auto"
+        assert BarterCastConfig(sparse_flow_kernel="csr").sparse_flow_kernel == "csr"
+        with pytest.raises(ValueError, match="sparse_flow_kernel"):
+            BarterCastConfig(sparse_flow_kernel="bogus")
+
+    def test_runtime_config_mirror_validates_kernel(self):
+        assert RuntimeConfig().sparse_flow_kernel is None
+        assert RuntimeConfig(sparse_flow_kernel="chunked").sparse_flow_kernel == "chunked"
+        with pytest.raises(ValueError, match="sparse_flow_kernel"):
+            RuntimeConfig(sparse_flow_kernel="bogus")

@@ -189,3 +189,37 @@ def test_property_eviction_is_oldest_first(merge_seq):
         last_seen[f"v{voter}"] = t
     expected = sorted(last_seen, key=lambda p: -last_seen[p])[:3]
     assert sorted(bb.voters()) == sorted(expected)
+
+
+def test_restore_voter_reproduces_eviction_order():
+    """restore_voter replays saved voters oldest-first, so a restored
+    box picks the same B_max victims as the live one."""
+    bb = BallotBox(b_max=2)
+    bb.merge("z", [ve("m1", Vote.POSITIVE)], now=1.0)
+    bb.merge("a", [ve("m2", Vote.NEGATIVE)], now=2.0)
+    clone = BallotBox(b_max=2)
+    for voter in bb.voters_by_recency():
+        clone.restore_voter(voter, bb.votes_of(voter), bb.last_received_of(voter))
+    assert clone.voters_by_recency() == bb.voters_by_recency()
+    assert clone.last_received_of("z") == 1.0
+    bb.merge("q", [ve("m3", Vote.POSITIVE)], now=3.0)
+    clone.merge("q", [ve("m3", Vote.POSITIVE)], now=3.0)
+    assert clone.voters() == bb.voters() == ["a", "q"]
+
+
+def test_restore_voter_drops_self_votes():
+    bb = BallotBox(b_max=5)
+    bb.restore_voter("v", [("v", Vote.POSITIVE, 1.0)], last_received=1.0)
+    assert bb.num_unique_users() == 0
+
+
+def test_votes_of_and_recency_accessors():
+    bb = BallotBox(b_max=5)
+    bb.merge("v", [ve("m1", Vote.POSITIVE), ve("m2", Vote.NEGATIVE)], now=4.0)
+    assert sorted(bb.votes_of("v")) == [
+        ("m1", Vote.POSITIVE, 4.0),
+        ("m2", Vote.NEGATIVE, 4.0),
+    ]
+    assert bb.last_received_of("v") == 4.0
+    assert bb.votes_of("ghost") == []
+    assert bb.last_received_of("ghost") == 0.0

@@ -106,3 +106,53 @@ def test_disapproval_semantics_survive(populated_node, tmp_path):
         [Moderation("enemy", "t9", "sneaky")], now=20.0
     )
     assert got == 0
+
+
+def test_ballot_recency_survives_round_trip(tmp_path):
+    """Regression: the v1 format re-merged every voter at now=0.0 in
+    alphabetical order, so a restored box evicted B_max victims
+    alphabetically instead of oldest-received-first."""
+    node = VoteSamplingNode("me", NodeConfig(b_min=1, b_max=2), np.random.default_rng(0))
+    # "z" received first (oldest), "a" last (newest) — the reverse of
+    # alphabetical order, so the old restore path picks the wrong victim.
+    node.receive_votes("z", [VoteEntry("m1", Vote.POSITIVE, 0.0)], 1.0, True)
+    node.receive_votes("a", [VoteEntry("m2", Vote.NEGATIVE, 0.0)], 2.0, True)
+    path = tmp_path / "node.json"
+    save_node(node, path)
+    restored = load_node(path)
+    assert restored.ballot_box.voters_by_recency() == ["z", "a"]
+    assert restored.ballot_box.last_received_of("z") == 1.0
+    assert restored.ballot_box.last_received_of("a") == 2.0
+    # Merging past b_max must evict the oldest-received voter ("z"),
+    # exactly as the never-persisted box would have.
+    restored.receive_votes("q", [VoteEntry("m3", Vote.POSITIVE, 0.0)], 3.0, True)
+    assert restored.ballot_box.voters() == ["a", "q"]
+    assert node is not restored
+
+
+def test_ballot_vote_timestamps_survive_round_trip(populated_node, tmp_path):
+    path = tmp_path / "node.json"
+    save_node(populated_node, path)
+    restored = load_node(path)
+    for voter in populated_node.ballot_box.voters():
+        assert sorted(restored.ballot_box.votes_of(voter)) == sorted(
+            populated_node.ballot_box.votes_of(voter)
+        )
+
+
+def test_v1_format_still_loads(populated_node):
+    """Legacy v1 saves (flat ballot entries, no timestamps) load with
+    the documented caveat: recency resets, voters refold alphabetically."""
+    data = node_to_dict(populated_node)
+    data["format"] = 1
+    data["ballot"] = [
+        {"voter": rec["voter"], "moderator": moderator, "vote": vote}
+        for rec in data["ballot"]
+        for moderator, vote, _at in rec["votes"]
+    ]
+    restored = node_from_dict(data)
+    assert restored.ballot_box.num_unique_users() == 2
+    assert restored.ballot_box.counts("x") == (1, 1)
+    # The caveat: all recency is gone, voters sit in alphabetical order.
+    assert restored.ballot_box.voters_by_recency() == ["v1", "v2"]
+    assert restored.ballot_box.last_received_of("v1") == 0.0

@@ -127,3 +127,23 @@ class TestStrictlyOrdered:
     def test_unknown_moderator_not_correct(self):
         ranking = [("m1", 2.0), ("m3", -1.0)]
         assert not strictly_ordered(ranking, ["m1", "m2", "m3"])
+
+
+class TestMergeDuplicateRobustness:
+    """Regression: duplicate ids inside one received list used to sum
+    every occurrence's rank while counting one appearance."""
+
+    def test_duplicates_count_once_at_first_rank(self):
+        merged = merge_rank_lists([["m", "m", "x"]], k=3)
+        assert merged == [("m", -1.0), ("x", -2.0)]
+
+    def test_duplicates_do_not_crowd_out_later_ids(self):
+        # With k=2, the repeated "a" must not push "b" off the list.
+        merged = dict(merge_rank_lists([["a", "a", "b"]], k=2))
+        assert merged["a"] == -1.0
+        assert merged["b"] == -2.0
+
+    def test_duplicate_list_matches_clean_list(self):
+        clean = merge_rank_lists([["m", "x"], ["x", "m"]], k=3)
+        dirty = merge_rank_lists([["m", "m", "x"], ["x", "x", "m"]], k=3)
+        assert dirty == clean

@@ -54,3 +54,20 @@ def test_oldest_list_evicted_fifo():
     cache.add(["mid"])
     cache.add(["new"])
     assert sorted(cache.known_moderators()) == ["mid", "new"]
+
+
+def test_add_dedups_on_first_occurrence():
+    """Regression: a repeat-padded hostile list used to crowd other ids
+    out of the cached K window."""
+    cache = TopKCache(v_max=4, k=2)
+    cache.add(["m", "m", "x"])
+    assert cache.lists() == [["m", "x"]]
+
+
+def test_lists_accessor_returns_copies():
+    cache = TopKCache(v_max=4, k=3)
+    cache.add(["a", "b"])
+    got = cache.lists()
+    assert got == [["a", "b"]]
+    got[0].append("evil")
+    assert cache.lists() == [["a", "b"]]
