@@ -26,15 +26,21 @@ bench:
 # an O(E)-sized mirror at 10k nodes, threaded AND process-sharded
 # flow-row recomputes are bit-identical to serial (the process tier
 # including its recomputed/reused counters), and (on multi-core
-# runners) the parallel paths beat sequential by >= 1.5x.  Also runs
-# the dead-statement lint.  Writes BENCH_contribution.json so the
-# perf trajectory accumulates per PR.
+# runners) the parallel paths beat sequential by >= 1.5x.  The
+# population section gates the SoA engine: full-stack tick schedule,
+# run summary and node states bit-identical to the object engine, and
+# (on multi-core runners) >= 5x peers/sec at 50k peers.  Also runs
+# the dead-statement lint.  Writes BENCH_contribution.json and
+# BENCH_population.json so the perf trajectory accumulates per PR.
 bench-smoke: lint-deadcode
 	$(PY) scripts/bench_contribution.py --check
+	$(PY) scripts/bench_population.py --check
 
-# Paper-scale contribution benchmark (slower; no gate).
+# Paper-scale benchmarks (slower; no gate).  The population leg adds
+# the million-peer churn-trace smoke under the SoA engine.
 bench-full:
 	$(PY) scripts/bench_contribution.py --full
+	$(PY) scripts/bench_population.py --full
 
 results:
 	$(PY) scripts/collect_results.py

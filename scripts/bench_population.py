@@ -1,0 +1,370 @@
+#!/usr/bin/env python
+"""Population-engine benchmark: object heap entries vs columnar batches.
+
+Three sections:
+
+* **engine_identity** — a churny full-stack run (40 peers, 6 h) under
+  both tick schedulers, logging every protocol tick fired: the
+  ``(time, protocol, peer)`` schedule, the ``run_summary()`` (minus
+  its ``population`` section, which describes the scheduler itself)
+  and per-node end states must be **bit-identical**.  Always gated.
+* **peers_per_sec** — scheduler capacity at 50 k peers with a
+  null-action protocol: per-peer :class:`PeriodicProcess` heap entries
+  vs one :class:`PopulationEngine` batch source, both drawing the same
+  per-peer jitter streams.  Tick counts must agree exactly (always
+  gated); the SoA engine must beat the object engine by
+  ``--min-speedup`` (default 5×) on multi-core runners — single-core
+  boxes log a skip, like the other speedup gates.
+* **million_peer_smoke** (``--full`` only) — a 1 000 000-peer churn
+  trace run end-to-end through the real protocol stack under the SoA
+  engine: completion is the gate, peers/sec is the trajectory metric.
+
+Results land in ``BENCH_population.json`` at the repo root.  Sections
+are **merged** into an existing file, so the committed ``--full``
+million-peer numbers survive quick ``--check`` runs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_population.py [--full] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.bittorrent.session import BitTorrentSession, SessionConfig
+from repro.core.runtime import ProtocolRuntime, RuntimeConfig
+from repro.core.votes import Vote
+from repro.sim.engine import Engine
+from repro.sim.population import PopulationEngine
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RngRegistry
+from repro.sim.units import HOUR, MB
+from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_TICK_NAMES = (
+    "_moderation_tick",
+    "_vote_tick",
+    "_bartercast_tick",
+    "_newscast_tick",
+    "_adaptive_tick",
+)
+
+
+def _full_stack_run(engine_kind: str, trace, seed: int, hours: float):
+    """One protocol run with every tick logged; returns
+    ``(schedule, summary-minus-population, states, wall, telemetry)``."""
+    engine = Engine()
+    rng = RngRegistry(seed)
+    session = BitTorrentSession(
+        engine, trace, rng, config=SessionConfig(round_interval=60.0)
+    )
+    runtime = ProtocolRuntime(
+        session,
+        rng,
+        config=RuntimeConfig(
+            moderation_interval=120.0,
+            vote_interval=120.0,
+            bartercast_interval=300.0,
+            experience_threshold=1 * MB,
+            population_engine=engine_kind,
+        ),
+    )
+    schedule = []
+    for name in _TICK_NAMES:
+        orig = getattr(runtime, name)
+
+        def wrap(orig=orig, name=name):
+            def tick(pid):
+                schedule.append((engine.now, name, pid))
+                return orig(pid)
+
+            return tick
+
+        setattr(runtime, name, wrap())
+    pids = sorted(trace.peers)
+    runtime.ensure_node(pids[0]).create_moderation("t-file", "x", now=0.0)
+    runtime.ensure_node(pids[1]).set_vote_intention(pids[0], Vote.POSITIVE)
+    t0 = time.perf_counter()
+    session.start()
+    engine.run_until(hours * HOUR)
+    wall = time.perf_counter() - t0
+    summary = runtime.run_summary()
+    telemetry = summary.pop("population")
+    states = {
+        pid: (
+            len(node.store),
+            node.ballot_box.num_unique_users(),
+            node.ballot_box.score(pids[0]),
+            node.online,
+        )
+        for pid, node in sorted(runtime.nodes.items())
+    }
+    return schedule, summary, states, wall, telemetry
+
+
+def bench_engine_identity(seed: int) -> dict:
+    """Full-stack bit-identity between the two tick schedulers."""
+    hours = 6.0
+    trace = TraceGenerator(
+        TraceGeneratorConfig(n_peers=40, n_swarms=5, duration=hours * HOUR),
+        seed=seed,
+    ).generate()
+    sched_o, sum_o, states_o, wall_o, _tel_o = _full_stack_run(
+        "object", trace, seed, hours
+    )
+    sched_s, sum_s, states_s, wall_s, tel_s = _full_stack_run(
+        "soa", trace, seed, hours
+    )
+    return {
+        "n_peers": len(trace.peers),
+        "duration_hours": hours,
+        "ticks": len(sched_o),
+        "schedule_bit_identical": sched_o == sched_s,
+        "summary_bit_identical": sum_o == sum_s,
+        "states_bit_identical": states_o == states_s,
+        "object_wall_s": round(wall_o, 2),
+        "soa_wall_s": round(wall_s, 2),
+        "soa_batches": tel_s["batches"],
+        "soa_mean_batch_size": tel_s["mean_batch_size"],
+    }
+
+
+def bench_peers_per_sec(seed: int, n_peers: int = 50_000) -> dict:
+    """Null-action scheduler capacity: 50 k always-online peers, one
+    60 s protocol, 600 s simulated.  Both legs draw identical jitter
+    streams, so they execute identical tick schedules.
+
+    Setup (per-peer RNG stream creation plus first-tick scheduling —
+    paid identically by both legs, dominated by ``RngRegistry.stream``)
+    is timed separately from the run phase; the gated metric is
+    **peers/sec** over the run phase — peers advanced through one
+    protocol interval per wall-clock second (= ticks/sec here, one
+    tick per peer-interval).
+    """
+    interval, window = 60.0, 600.0
+    jitter_fraction = 0.1
+
+    def null_action(_pid=None):
+        pass
+
+    # Object leg: one PeriodicProcess heap entry per peer, exactly the
+    # per-peer machinery ProtocolRuntime uses.
+    eng_o = Engine()
+    reg_o = RngRegistry(seed)
+    t0 = time.perf_counter()
+    procs = []
+    for i in range(n_peers):
+        proc = PeriodicProcess(
+            eng_o,
+            interval,
+            null_action,
+            jitter=interval * jitter_fraction,
+            rng=reg_o.stream("jitter", f"p{i}"),
+        )
+        proc.start()
+        procs.append(proc)
+    setup_o = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    eng_o.run_until(window)
+    wall_o = time.perf_counter() - t0
+    ticks_o = eng_o.events_fired
+
+    # SoA leg: the same peers, intervals and jitter streams through one
+    # columnar population source.
+    eng_s = Engine()
+    reg_s = RngRegistry(seed)
+    t0 = time.perf_counter()
+    pop = PopulationEngine(
+        eng_s,
+        reg_s,
+        [("null", interval, null_action)],
+        jitter_fraction=jitter_fraction,
+    )
+    eng_s.attach_source(pop)
+    for i in range(n_peers):
+        pop.peer_online(f"p{i}", 0.0)
+    setup_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    eng_s.run_until(window)
+    wall_s = time.perf_counter() - t0
+    ticks_s = eng_s.events_fired
+
+    cpu = os.cpu_count() or 1
+    return {
+        "n_peers": n_peers,
+        "interval_s": interval,
+        "window_s": window,
+        "object_ticks": ticks_o,
+        "soa_ticks": ticks_s,
+        "ticks_identical": ticks_o == ticks_s,
+        "object_setup_s": round(setup_o, 2),
+        "soa_setup_s": round(setup_s, 2),
+        "object_wall_s": round(wall_o, 2),
+        "soa_wall_s": round(wall_s, 2),
+        "object_peers_per_s": round(ticks_o / wall_o),
+        "soa_peers_per_s": round(ticks_s / wall_s),
+        "speedup": round(wall_o / wall_s, 2),
+        "soa_batches": pop.batches,
+        "soa_mean_batch_size": round(pop.telemetry()["mean_batch_size"], 1),
+        "cpu_count": cpu,
+        "speedup_gate_active": cpu >= 2,
+    }
+
+
+def bench_million_peer_smoke(seed: int, n_peers: int = 1_000_000) -> dict:
+    """End-to-end 1M-peer churn trace under the SoA engine.
+
+    Swarm interest is zeroed (no transfer plumbing at this scale — the
+    point is the population machinery: 1M peer sessions, eager node
+    materialisation, protocol ticks over hundreds of thousands of
+    concurrently online peers), intervals are relaxed to keep total
+    tick volume bounded, and the run must simply complete.
+    """
+    window = 900.0
+    cfg = TraceGeneratorConfig(
+        n_peers=n_peers,
+        duration=window,
+        n_swarms=1,
+        swarms_per_session=0.0,
+        arrival_window=window,
+        rare_fraction=0.5,  # thin the concurrently-online population
+    )
+    t0 = time.perf_counter()
+    trace = TraceGenerator(cfg, seed=seed).generate()
+    trace_wall = time.perf_counter() - t0
+
+    engine = Engine()
+    rng = RngRegistry(seed)
+    session = BitTorrentSession(
+        engine, trace, rng, config=SessionConfig(round_interval=300.0)
+    )
+    runtime = ProtocolRuntime(
+        session,
+        rng,
+        config=RuntimeConfig(
+            moderation_interval=300.0,
+            vote_interval=300.0,
+            bartercast_interval=600.0,
+            population_engine="soa",
+        ),
+    )
+    t0 = time.perf_counter()
+    session.start()
+    engine.run_until(window)
+    run_wall = time.perf_counter() - t0
+    telemetry = runtime.population_summary()
+    return {
+        "n_peers": n_peers,
+        "window_s": window,
+        "trace_events": len(trace.events),
+        "trace_build_s": round(trace_wall, 1),
+        "run_wall_s": round(run_wall, 1),
+        "completed": True,
+        "peers_per_s": round(n_peers / run_wall),
+        "engine_events": engine.events_fired,
+        "ticks": telemetry["ticks"],
+        "peers_online_at_end": telemetry["peers_online"],
+        "batches": telemetry["batches"],
+        "mean_batch_size": round(telemetry["mean_batch_size"], 1),
+        "max_batch_size": telemetry["max_batch_size"],
+    }
+
+
+def run(full: bool, seed: int, out: Path = None) -> dict:
+    sections = {
+        "engine_identity": bench_engine_identity(seed),
+        "peers_per_sec": bench_peers_per_sec(seed),
+    }
+    if full:
+        sections["million_peer_smoke"] = bench_million_peer_smoke(seed)
+
+    out = out or REPO_ROOT / "BENCH_population.json"
+    # Merge over the existing file: sections not re-run this invocation
+    # (the committed --full million-peer numbers) are preserved.
+    report = {}
+    if out.exists():
+        try:
+            report = json.loads(out.read_text())
+        except ValueError:
+            report = {}
+    report.update(
+        {
+            "name": "bench_population",
+            "mode": "full" if full else "quick",
+            "seed": seed,
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "python": sys.version.split()[0],
+        }
+    )
+    report.update(sections)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="include the 1M-peer smoke"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on any bit-identity break, or on a multi-core runner "
+        "when the SoA engine is below --min-speedup",
+    )
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    args = parser.parse_args(argv)
+
+    report = run(full=args.full, seed=args.seed, out=args.out)
+    print(json.dumps(report, indent=2))
+    if not args.check:
+        return 0
+    failures = []
+    identity = report["engine_identity"]
+    if not identity["schedule_bit_identical"]:
+        failures.append("SoA tick schedule diverged from the object engine")
+    if not identity["summary_bit_identical"]:
+        failures.append("run_summary diverged between tick schedulers")
+    if not identity["states_bit_identical"]:
+        failures.append("node end states diverged between tick schedulers")
+    capacity = report["peers_per_sec"]
+    if not capacity["ticks_identical"]:
+        failures.append(
+            f"tick counts diverged at {capacity['n_peers']} peers: "
+            f"object={capacity['object_ticks']} soa={capacity['soa_ticks']}"
+        )
+    if capacity["speedup_gate_active"]:
+        if capacity["speedup"] < args.min_speedup:
+            failures.append(
+                f"SoA scheduler speedup {capacity['speedup']:.2f}x "
+                f"< required {args.min_speedup:.1f}x at "
+                f"{capacity['n_peers']} peers on "
+                f"{capacity['cpu_count']} cores"
+            )
+    else:
+        print(
+            "SKIP: population speedup gate skipped — single-core runner "
+            f"(cpu_count={capacity['cpu_count']}); tick-count and "
+            "full-stack bit-identity gates still checked",
+            file=sys.stderr,
+        )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,7 +57,10 @@ class BarterCastConfig:
     #: (0 = unbounded).  Production-scale populations cap this so a
     #: node gossiping with millions of peers holds O(bound) entries;
     #: evictions are counted in :meth:`BarterCastService.cache_stats`.
-    contrib_cache_entries: int = 0
+    #: ``None`` (the default) derives the bound from the population
+    #: size once known — see :func:`adaptive_contrib_cache_entries`;
+    #: until/without that resolution ``None`` behaves as unbounded.
+    contrib_cache_entries: Optional[int] = None
     #: Matrix mirror for each node's subjective graph: ``"dense"``
     #: (O(n²) memory, fastest gather at paper scale), ``"sparse"``
     #: (CSR-style, O(E) memory) or ``"auto"`` (dense until the node
@@ -82,7 +85,7 @@ class BarterCastConfig:
             raise ValueError("max_hops must be >= 1")
         if self.max_graph_nodes < 0:
             raise ValueError("max_graph_nodes must be >= 0")
-        if self.contrib_cache_entries < 0:
+        if self.contrib_cache_entries is not None and self.contrib_cache_entries < 0:
             raise ValueError("contrib_cache_entries must be >= 0")
         if self.graph_backend not in ("dense", "sparse", "auto"):
             raise ValueError("graph_backend must be dense, sparse or auto")
@@ -90,6 +93,34 @@ class BarterCastConfig:
             raise ValueError("sparse_graph_threshold must be >= 0")
         if self.sparse_flow_kernel not in ("chunked", "csr", "auto"):
             raise ValueError("sparse_flow_kernel must be chunked, csr or auto")
+
+
+#: Population size up to which the adaptive contribution-cache bound
+#: stays unbounded (paper-scale runs cache every subject they meet).
+_ADAPTIVE_CACHE_FREE_POPULATION = 10_000
+
+#: Rough per-entry footprint of one contribution-cache slot (OrderedDict
+#: link + subject string key + ``((out_v, in_v), flow)`` value), used by
+#: :meth:`BarterCastService.cache_stats` to report bytes next to the
+#: hit rate so the adaptive default is measurable.
+_CONTRIB_ENTRY_BYTES = 200
+
+
+def adaptive_contrib_cache_entries(population: int) -> int:
+    """Default per-node contribution-cache bound for a population.
+
+    Up to :data:`_ADAPTIVE_CACHE_FREE_POPULATION` peers the cache is
+    unbounded (``0``): a paper-scale node meets the whole population
+    and every entry stays useful.  Beyond that, a node's working set
+    is its gossip neighbourhood — O(√population) with uniform sampling
+    before the horizon of a run — so the bound grows as ``8·√n``
+    (floored at 1024 entries ≈ 200 KiB), not ``n``.
+    """
+    if population < 0:
+        raise ValueError("population must be >= 0")
+    if population <= _ADAPTIVE_CACHE_FREE_POPULATION:
+        return 0
+    return max(1024, 8 * int(population**0.5))
 
 
 #: Shared sentinel handed out by :meth:`BarterCastService.graph_of`
@@ -146,6 +177,11 @@ class BarterCastService:
         self._pss = pss
         self.config = config or BarterCastConfig()
         self._nodes: Dict[str, _NodeState] = {}
+        #: resolved LRU bound (0 = unbounded).  ``None`` in the config
+        #: means "adaptive": unbounded until :meth:`resolve_cache_budget`
+        #: learns the population size.
+        configured = self.config.contrib_cache_entries
+        self._contrib_cap = configured if configured is not None else 0
         self.exchanges = 0
         #: contribution-cache telemetry (see :meth:`cache_stats`)
         self.cache_hits = 0
@@ -289,7 +325,7 @@ class BarterCastService:
         if not self.config.contribution_cache:
             self.cache_bypasses += 1
             return two_hop_flow(graph, subject, observer)
-        cap = self.config.contrib_cache_entries
+        cap = self._contrib_cap
         key = (graph.out_version(subject), graph.in_version(observer))
         entry = st.contrib_cache.get(subject)
         if entry is not None:
@@ -354,18 +390,39 @@ class BarterCastService:
     # ------------------------------------------------------------------
     # Cache telemetry
     # ------------------------------------------------------------------
-    def cache_stats(self) -> Dict[str, int]:
+    def resolve_cache_budget(self, population: int) -> int:
+        """Resolve an adaptive (``None``) ``contrib_cache_entries`` to
+        a concrete bound for ``population`` peers.
+
+        Called by the runtime once the trace population is known.  An
+        explicit configured bound is left untouched.  Returns the
+        resolved cap (0 = unbounded).
+        """
+        if self.config.contrib_cache_entries is None:
+            self._contrib_cap = adaptive_contrib_cache_entries(population)
+        return self._contrib_cap
+
+    def cache_stats(self) -> Dict[str, object]:
         """Counters for run summaries: hits/misses/invalidations of the
         scalar contribution cache, LRU evictions under a
         ``contrib_cache_entries`` bound, batch-memo hits/misses, top-K
         record cache hits/misses, and bypasses (cache disabled or
-        non-2-hop)."""
+        non-2-hop) — plus the resolved cache bound, the scalar hit
+        rate, and the live entry count with its estimated footprint,
+        so an adaptive bound's hit-rate/memory trade-off is measurable
+        from any run summary."""
+        entries = sum(len(st.contrib_cache) for st in self._nodes.values())
+        lookups = self.cache_hits + self.cache_misses
         return {
             "contribution_hits": self.cache_hits,
             "contribution_misses": self.cache_misses,
             "contribution_invalidations": self.cache_invalidations,
             "contribution_bypasses": self.cache_bypasses,
             "contribution_evictions": self.cache_evictions,
+            "contribution_hit_rate": (self.cache_hits / lookups) if lookups else 0.0,
+            "contrib_cache_cap": self._contrib_cap,
+            "contrib_cache_entries_total": entries,
+            "contrib_cache_memory_bytes": entries * _CONTRIB_ENTRY_BYTES,
             "batch_hits": self.batch_hits,
             "batch_misses": self.batch_misses,
             "records_hits": self.records_cache_hits,

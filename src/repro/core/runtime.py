@@ -33,6 +33,7 @@ from repro.metrics.traffic import TrafficMeter
 from repro.pss.base import PeerSamplingService
 from repro.pss.ideal import OraclePSS
 from repro.pss.newscast import NewscastConfig, NewscastService
+from repro.sim.population import PopulationEngine, ProtocolSpec
 from repro.sim.process import PeriodicProcess
 from repro.sim.rng import RngRegistry
 from repro.sim.units import MB
@@ -84,6 +85,16 @@ class RuntimeConfig:
     #: NAT timeout, …) beyond what churn already causes.  Failure
     #: injection for robustness tests; 0 in the paper's experiments.
     message_loss: float = 0.0
+    #: Tick scheduler: ``"object"`` = one ``PeriodicProcess`` heap
+    #: entry per peer per protocol; ``"soa"`` = the structure-of-arrays
+    #: population engine (``repro.sim.population``) with batched
+    #: dispatch; ``"auto"`` = ``"soa"`` once the trace population
+    #: reaches ``population_engine_threshold``.  The tick schedule and
+    #: every protocol result are bit-identical across engines.
+    population_engine: str = "auto"
+    #: Trace population size at which ``"auto"`` switches to the
+    #: structure-of-arrays engine.
+    population_engine_threshold: int = 10_000
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.message_loss < 1.0):
@@ -117,6 +128,10 @@ class RuntimeConfig:
             "auto",
         ):
             raise ValueError("sparse_flow_kernel must be chunked, csr or auto")
+        if self.population_engine not in ("object", "soa", "auto"):
+            raise ValueError("population_engine must be object, soa or auto")
+        if self.population_engine_threshold < 0:
+            raise ValueError("population_engine_threshold must be >= 0")
 
 
 NodeFactory = Callable[[str], VoteSamplingNode]
@@ -165,6 +180,7 @@ class ProtocolRuntime:
         if overrides:
             bartercast_config = replace(bartercast_config, **overrides)
         self.bartercast = BarterCastService(self.pss, bartercast_config)
+        self.bartercast.resolve_cache_budget(len(session.trace.peers))
         session.ledger.add_listener(self.bartercast.local_transfer)
 
         self.experience: ExperienceFunction = (
@@ -175,6 +191,16 @@ class ProtocolRuntime:
 
         self.nodes: Dict[str, VoteSamplingNode] = {}
         self._processes: Dict[str, List[PeriodicProcess]] = {}
+        mode = self.config.population_engine
+        if mode == "auto":
+            mode = (
+                "soa"
+                if len(session.trace.peers) >= self.config.population_engine_threshold
+                else "object"
+            )
+        #: resolved tick scheduler ("object" or "soa")
+        self.population_engine: str = mode
+        self._population: Optional[PopulationEngine] = None
         self.dropped_exchanges = 0
         # Hoisted from _partner_for: the registry memoises streams by
         # name, so caching the generator object draws the identical
@@ -229,8 +255,11 @@ class ProtocolRuntime:
         self._online_since[peer_id] = now
         if self.newscast is not None:
             self.newscast.node_online(peer_id, now)
-        for proc in self._processes_for(peer_id):
-            proc.start()
+        if self.population_engine == "soa":
+            self._population_scheduler().peer_online(peer_id, now)
+        else:
+            for proc in self._processes_for(peer_id):
+                proc.start()
 
     def _peer_offline(self, peer_id: str, now: float) -> None:
         node = self.nodes.get(peer_id)
@@ -242,8 +271,11 @@ class ProtocolRuntime:
             self._online_seconds += max(0.0, now - since)
         if self.newscast is not None:
             self.newscast.node_offline(peer_id)
-        for proc in self._processes.get(peer_id, ()):
-            proc.stop()
+        if self._population is not None:
+            self._population.peer_offline(peer_id, now)
+        else:
+            for proc in self._processes.get(peer_id, ()):
+                proc.stop()
 
     def _processes_for(self, peer_id: str) -> List[PeriodicProcess]:
         procs = self._processes.get(peer_id)
@@ -277,11 +309,51 @@ class ProtocolRuntime:
         self._processes[peer_id] = procs
         return procs
 
+    def _protocol_specs(self) -> List[ProtocolSpec]:
+        """The canonical per-peer protocol loops, in the object
+        engine's registration order (``_processes_for``)."""
+        cfg = self.config
+        specs: List[ProtocolSpec] = [
+            ("moderation", cfg.moderation_interval, self._moderation_tick),
+            ("vote", cfg.vote_interval, self._vote_tick),
+            ("bartercast", cfg.bartercast_interval, self._bartercast_tick),
+        ]
+        if self.newscast is not None:
+            specs.append(("newscast", cfg.newscast_interval, self._newscast_tick))
+        if isinstance(self.experience, AdaptiveThresholdExperience):
+            specs.append(
+                ("adaptive", cfg.adaptive_update_interval, self._adaptive_tick)
+            )
+        return specs
+
+    def _population_scheduler(self) -> PopulationEngine:
+        """The SoA scheduler, built at first peer-online — the same
+        moment ``_processes_for`` freezes a peer's protocol set, so a
+        pre-start ``runtime.experience`` swap is honoured by both
+        engines (swapping after the first online is unsupported
+        either way)."""
+        population = self._population
+        if population is None:
+            population = PopulationEngine(
+                self.engine,
+                self._rng,
+                self._protocol_specs(),
+                jitter_fraction=self.config.jitter_fraction,
+            )
+            self.engine.attach_source(population)
+            self._population = population
+        return population
+
     def run_summary(self) -> Dict[str, object]:
         """One dict with everything a run report needs: per-protocol
         traffic (the TrafficMeter), BarterCast exchange and cache
-        counters, node-level protocol counters, drops, and accumulated
-        online node-hours."""
+        counters, node-level protocol counters, drops, accumulated
+        online node-hours, and population-engine telemetry.
+
+        Everything except the ``population`` section is bit-identical
+        across tick schedulers; ``population`` describes the scheduler
+        itself (engine name, batch shape) and so differs by design.
+        """
         return {
             "traffic": self.traffic.summary(),
             "bartercast": {
@@ -291,6 +363,33 @@ class ProtocolRuntime:
             "nodes": self.node_counters(),
             "dropped_exchanges": self.dropped_exchanges,
             "online_node_hours": self.online_node_hours(),
+            "population": self.population_summary(),
+        }
+
+    def population_summary(self) -> Dict[str, object]:
+        """Tick-scheduler telemetry: which engine ran, population and
+        online counts, ticks dispatched per protocol, batch shape.
+        Under the object engine every tick is its own heap event, so
+        batches degenerate to size 1."""
+        if self._population is not None:
+            return self._population.telemetry()
+        names = [name for name, _interval, _action in self._protocol_specs()]
+        ticks_by_protocol: Dict[str, int] = {}
+        ticks = 0
+        for procs in self._processes.values():
+            for name, proc in zip(names, procs):
+                ticks_by_protocol[name] = ticks_by_protocol.get(name, 0) + proc.ticks
+                ticks += proc.ticks
+        peers_online = sum(1 for node in self.nodes.values() if node.online)
+        return {
+            "engine": self.population_engine,
+            "peers_total": len(self.nodes),
+            "peers_online": peers_online,
+            "ticks": ticks,
+            "batches": ticks,
+            "mean_batch_size": 1.0 if ticks else 0.0,
+            "max_batch_size": 1 if ticks else 0,
+            "ticks_by_protocol": ticks_by_protocol,
         }
 
     def node_counters(self) -> Dict[str, int]:
@@ -371,6 +470,10 @@ class ProtocolRuntime:
         verdicts = self.experience.experienced_many(
             peer_id, [p.peer_id for p in partners]
         )
+        # Reverse direction: each partner needs its own evaluation of
+        # this peer (one call per partner is irreducible), but the
+        # single-subject list is loop-invariant — build it once.
+        reverse_subjects = [peer_id]
         for partner in partners:
             # BallotBox (Fig 3 a+b): bidirectional vote-list exchange,
             # each side gating on its own experience evaluation.
@@ -387,7 +490,7 @@ class ProtocolRuntime:
                 votes_out,
                 now,
                 experienced=self.experience.experienced_many(
-                    partner.peer_id, [peer_id]
+                    partner.peer_id, reverse_subjects
                 )[peer_id],
             )
             self.traffic.vote_exchange(len(votes_out), len(votes_in))

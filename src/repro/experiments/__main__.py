@@ -40,12 +40,15 @@ def _quick_trace(duration: float) -> TraceGeneratorConfig:
 
 
 def _bartercast_overrides(args) -> dict:
-    """The CLI's non-default BarterCast knobs as RuntimeConfig kwargs."""
+    """The CLI's non-default runtime knobs (BarterCast backends plus
+    the population engine) as RuntimeConfig kwargs."""
     overrides = {}
     if args.graph_backend is not None:
         overrides["graph_backend"] = args.graph_backend
     if args.sparse_kernel is not None:
         overrides["sparse_flow_kernel"] = args.sparse_kernel
+    if args.population_engine is not None:
+        overrides["population_engine"] = args.population_engine
     return overrides
 
 
@@ -192,6 +195,15 @@ def main(argv=None) -> int:
         "chunked dense row blocks, the sparse-to-sparse CSR kernel, "
         "or auto density-based selection (bit-identical either way; "
         "ignored under the dense backend)",
+    )
+    parser.add_argument(
+        "--population-engine",
+        choices=["auto", "object", "soa"],
+        default=None,
+        help="tick scheduler: per-peer PeriodicProcess heap entries "
+        "(object), the columnar batched population engine (soa), or "
+        "population-size-based selection (auto; the default).  The "
+        "tick schedule and every result are bit-identical either way",
     )
     parser.add_argument(
         "--flow-jobs",

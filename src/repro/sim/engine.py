@@ -9,17 +9,52 @@ Determinism guarantees:
 
 * events at equal times fire in ``(priority, insertion order)`` order;
 * cancellation is O(1) (lazy tombstones, skipped on pop);
+* tombstones auto-compact once they exceed half the queue (bounded
+  memory under churn-heavy cancellation, no manual ``compact()``);
 * the engine itself consumes no randomness.
+
+Besides the heap, the engine can merge events from one attached
+**event source** (see :meth:`Engine.attach_source`) — an object that
+maintains its own schedule outside the heap (the structure-of-arrays
+population engine in ``repro.sim.population``).  The merged execution
+order is the exact ``(time, priority, seq)`` total order both would
+produce if every source event were a heap entry: sources obtain their
+``seq`` values from :meth:`claim_seq`, the same counter heap insertions
+consume.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Protocol, Tuple
+
+#: Queue entries below this size never trigger auto-compaction — tiny
+#: queues (unit tests, setup phases) keep tombstones visible for
+#: explicit :meth:`Engine.compact` calls.
+_AUTO_COMPACT_FLOOR = 64
 
 
 class SimulationError(RuntimeError):
     """Raised on invalid scheduling (e.g. events in the past)."""
+
+
+class EventSource(Protocol):
+    """An external schedule the engine merges with its heap.
+
+    Implementations keep their own pending-event structure and expose
+    it through two methods; the engine interleaves them with heap
+    entries in exact ``(time, priority, seq)`` order.
+    """
+
+    def peek_key(self) -> Optional[Tuple[float, int, int]]:
+        """``(time, priority, seq)`` of the earliest pending event, or
+        ``None`` when the source is idle."""
+
+    def run_due(self, limit_key: Optional[Tuple[float, int, int]]) -> int:
+        """Execute every pending event with key ``< limit_key`` (one
+        batch when ``limit_key`` is ``None``), advancing the engine
+        clock via :meth:`Engine.advance_to` per event.  Returns the
+        number of events executed."""
 
 
 class EventHandle:
@@ -27,24 +62,47 @@ class EventHandle:
 
     Handles are returned by :meth:`Engine.schedule` /
     :meth:`Engine.schedule_at`.  Calling :meth:`cancel` marks the event
-    as a tombstone; the engine drops it when popped.
+    as a tombstone; the engine drops it when popped (or earlier, when
+    auto-compaction rebuilds the queue).
     """
 
-    __slots__ = ("time", "cancelled", "callback", "args")
+    __slots__ = ("time", "cancelled", "callback", "args", "_engine")
 
-    def __init__(self, time: float, callback: Callable[..., None], args: Tuple[Any, ...]):
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...],
+        engine: "Optional[Engine]" = None,
+    ):
         self.time = time
         self.callback: Optional[Callable[..., None]] = callback
         self.args = args
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled events do not pin objects alive
         # while waiting to be popped (guide: be easy on the memory).
         self.callback = None
         self.args = ()
+        engine = self._engine
+        self._engine = None
+        if engine is not None:
+            engine._note_tombstone()
+
+    def _consume(self) -> None:
+        """Engine-side teardown on pop: frees references like
+        :meth:`cancel` but does **not** count a tombstone — the entry
+        is already off the queue."""
+        self.cancelled = True
+        self.callback = None
+        self.args = ()
+        self._engine = None
 
     @property
     def active(self) -> bool:
@@ -81,6 +139,9 @@ class Engine:
         self._seq = 0
         self._events_fired = 0
         self._running = False
+        self._tombstones = 0
+        self._auto_compactions = 0
+        self._source: Optional[EventSource] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -97,8 +158,33 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of queue entries, including cancelled tombstones."""
+        """Number of queue entries, including cancelled tombstones
+        (events held by an attached source are not counted)."""
         return len(self._queue)
+
+    @property
+    def tombstones(self) -> int:
+        """Cancelled entries still sitting in the queue."""
+        return self._tombstones
+
+    @property
+    def auto_compactions(self) -> int:
+        """Times the queue self-compacted (tombstones > live/2)."""
+        return self._auto_compactions
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time`` without firing anything.
+
+        Event-source API: batch dispatchers advance the clock to each
+        event's timestamp before invoking its action, exactly as the
+        pop loop does for heap entries.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot advance clock backwards to t={time:.6f} "
+                f"from now={self._now:.6f}"
+            )
+        self._now = time
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -129,42 +215,97 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at t={time:.6f} before now={self._now:.6f}"
             )
-        handle = EventHandle(time, callback, tuple(args))
+        handle = EventHandle(time, callback, tuple(args), self)
         self._seq += 1
         heapq.heappush(self._queue, (time, priority, self._seq, handle))
+        if (
+            self._tombstones * 2 > len(self._queue)
+            and len(self._queue) >= _AUTO_COMPACT_FLOOR
+        ):
+            self.compact()
+            self._auto_compactions += 1
         return handle
+
+    def claim_seq(self) -> int:
+        """Reserve the next insertion-order slot without a heap entry.
+
+        Event-source API: a source stamps its events with claimed seqs
+        so they interleave with heap entries exactly as if each had
+        been scheduled individually at the same moment.
+        """
+        self._seq += 1
+        return self._seq
+
+    def attach_source(self, source: EventSource) -> None:
+        """Merge ``source``'s events into the execution order.
+
+        Only one source is supported (the population engine); a second
+        attach raises.
+        """
+        if self._source is not None:
+            raise SimulationError("an event source is already attached")
+        self._source = source
+
+    def next_event_key(self) -> Optional[Tuple[float, int, int]]:
+        """``(time, priority, seq)`` of the queue head, or ``None``.
+
+        Leading tombstones are dropped on the way (amortised O(1)).
+        Source events are not considered.
+        """
+        queue = self._queue
+        while queue and queue[0][3].cancelled:
+            heapq.heappop(queue)
+            self._tombstones -= 1
+        if not queue:
+            return None
+        time, prio, seq, _handle = queue[0]
+        return (time, prio, seq)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Execute the next pending event.
+    def _pop_and_fire(self) -> None:
+        """Execute the (known-live) queue head."""
+        time, _prio, _seq, handle = heapq.heappop(self._queue)
+        self._now = time
+        callback, args = handle.callback, handle.args
+        handle._consume()
+        self._events_fired += 1
+        assert callback is not None
+        callback(*args)
 
-        Returns ``False`` when the queue is empty, ``True`` otherwise.
+    def step(self) -> bool:
+        """Execute the next pending event (or, with an attached source
+        whose head precedes the queue's, one source batch).
+
+        Returns ``False`` when nothing is pending, ``True`` otherwise.
         """
-        while self._queue:
-            time, _prio, _seq, handle = heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
-            self._now = time
-            callback, args = handle.callback, handle.args
-            handle.cancel()  # consumed; free references
-            self._events_fired += 1
-            assert callback is not None
-            callback(*args)
-            return True
-        return False
+        qkey = self.next_event_key()
+        source = self._source
+        if source is not None:
+            skey = source.peek_key()
+            if skey is not None and (qkey is None or skey < qkey):
+                fired = source.run_due(qkey)
+                self._events_fired += fired
+                return fired > 0
+        if qkey is None:
+            return False
+        self._pop_and_fire()
+        return True
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the queue drains (or ``max_events`` fire).
 
-        Returns the number of events executed by this call.
+        Returns the number of events executed by this call.  With an
+        attached source, a batch may overshoot ``max_events`` by the
+        batch size minus one.
         """
         fired = 0
         while max_events is None or fired < max_events:
+            before = self._events_fired
             if not self.step():
                 break
-            fired += 1
+            fired += self._events_fired - before
         return fired
 
     def run_until(self, end_time: float) -> int:
@@ -179,19 +320,27 @@ class Engine:
                 f"run_until({end_time:.6f}) is before now={self._now:.6f}"
             )
         fired = 0
-        while self._queue:
-            time, _prio, _seq, handle = self._queue[0]
-            if time > end_time:
+        boundary = (end_time, float("inf"), 0)
+        while True:
+            qkey = self.next_event_key()
+            # Re-read per iteration: the population source attaches
+            # lazily, mid-run, at the first peer-online event.
+            source = self._source
+            if source is not None:
+                skey = source.peek_key()
+                if (
+                    skey is not None
+                    and skey[0] <= end_time
+                    and (qkey is None or skey < qkey)
+                ):
+                    limit = qkey if (qkey is not None and qkey < boundary) else boundary
+                    batch = source.run_due(limit)
+                    self._events_fired += batch
+                    fired += batch
+                    continue
+            if qkey is None or qkey[0] > end_time:
                 break
-            heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
-            self._now = time
-            callback, args = handle.callback, handle.args
-            handle.cancel()
-            self._events_fired += 1
-            assert callback is not None
-            callback(*args)
+            self._pop_and_fire()
             fired += 1
         self._now = end_time
         return fired
@@ -199,14 +348,19 @@ class Engine:
     def compact(self) -> int:
         """Drop cancelled tombstones from the queue.
 
-        Useful in long runs with heavy cancellation.  Returns the number
-        of tombstones removed.
+        Runs automatically once tombstones outnumber live entries (see
+        :data:`_AUTO_COMPACT_FLOOR`); callable manually for tests and
+        eager cleanup.  Returns the number of tombstones removed.
         """
         before = len(self._queue)
         live = [entry for entry in self._queue if not entry[3].cancelled]
         heapq.heapify(live)
         self._queue = live
+        self._tombstones = 0
         return before - len(live)
+
+    def _note_tombstone(self) -> None:
+        self._tombstones += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Engine(now={self._now:.3f}, pending={len(self._queue)})"

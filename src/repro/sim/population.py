@@ -1,0 +1,748 @@
+"""Structure-of-arrays population engine: batched protocol ticks.
+
+``ProtocolRuntime`` classically gives every online peer one
+:class:`~repro.sim.process.PeriodicProcess` heap entry per protocol
+loop, so a tick costs a heap pop, a Python callback, a jitter draw and
+a heap push — ~12 µs of scheduler machinery per tick before any
+protocol work runs.  At a million peers that machinery alone is the
+scale ceiling.
+
+:class:`PopulationEngine` replaces the per-peer heap entries with
+columnar state:
+
+* a compact integer index per peer (``peer_id ↔ row``), online flags
+  and online-since timestamps as numpy arrays;
+* per-protocol ``next_tick`` (float64, ``inf`` = idle) and ``seq``
+  (int64 insertion-order stamp) columns;
+* a per-protocol block-minimum index (2048-wide blocks) so "earliest
+  pending tick" and "all ticks due before H" are resolved by scanning
+  block summaries instead of the full population.
+
+Due ticks are selected in bulk (``np.nonzero(next_tick < horizon)``
+over candidate blocks), ordered by ``(time, seq)`` with one lexsort,
+and dispatched as a batch while the engine clock advances per tick.
+
+**Bit-identity contract.**  The tick schedule — every (time, protocol,
+peer) triple, in execution order — is bit-identical to the object
+engine's, because each ingredient is replicated exactly:
+
+* *jitter*: all of a peer's loops share one ``rng.stream("jitter",
+  peer_id)`` generator.  The engine pre-draws raw doubles in chunks
+  (``Generator.random(n)`` produces the same doubles as n scalar
+  ``uniform`` calls) and computes each gap as ``interval + (-j + (j+j)
+  * u)`` — the exact FP operations inside ``Generator.uniform(-j,
+  +j)`` — consuming one double per (re)schedule in the same order the
+  object engine draws them;
+* *ordering*: each scheduled tick is stamped with a sequence number
+  from :meth:`Engine.claim_seq` — the same counter heap insertions
+  use, claimed at the same moments the object engine would call
+  ``engine.schedule`` — so ties against heap events (equal time and
+  priority 0) resolve identically;
+* *batching*: a batch never crosses the next heap event's ``(time,
+  priority, seq)`` key, and is capped at ``t0 + G`` where ``G`` is the
+  smallest possible reschedule gap, so a tick rescheduled mid-batch
+  can never land inside the running batch out of order;
+* *mutation safety*: actions that flip peers on/offline mid-batch bump
+  a churn epoch which switches the dispatch loop to per-entry
+  revalidation, and an action that schedules a heap event truncates
+  the batch so the engine can re-merge.
+
+The gates in ``scripts/bench_population.py`` (run by ``make
+bench-smoke``) enforce the contract end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+_INF = float("inf")
+#: Block width of the per-protocol minimum index (power of two).
+_BLOCK_SHIFT = 11
+_BLOCK = 1 << _BLOCK_SHIFT
+#: Raw jitter doubles pre-drawn per peer per refill.  Over-drawing is
+#: invisible: nothing but this scheduler reads a peer's jitter stream.
+_JITTER_CHUNK = 16
+_EMPTY_SET: frozenset = frozenset()
+
+#: One protocol loop: ``(name, interval_seconds, action(peer_id))``.
+ProtocolSpec = Tuple[str, float, Callable[[str], None]]
+
+
+class PopulationEngine:
+    """Columnar peer state plus the batch tick scheduler.
+
+    Attach to an :class:`~repro.sim.engine.Engine` via
+    ``engine.attach_source(pop)``; the engine merges the population's
+    ticks with its heap in exact ``(time, priority, seq)`` order.
+    Protocol ticks run at priority 0, like the object engine's
+    ``PeriodicProcess`` callbacks.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rng: RngRegistry,
+        protocols: Sequence[ProtocolSpec],
+        jitter_fraction: float = 0.0,
+    ):
+        if not protocols:
+            raise ValueError("need at least one protocol loop")
+        if not (0.0 <= jitter_fraction < 1.0):
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        self._engine = engine
+        self._registry = rng
+        self._names = [name for name, _ival, _act in protocols]
+        self._intervals = [float(ival) for _name, ival, _act in protocols]
+        self._actions = [act for _name, _ival, act in protocols]
+        if min(self._intervals) <= 0:
+            raise ValueError("intervals must be positive")
+        self._jf = float(jitter_fraction)
+        #: per-protocol half-width j and full span (j + j == 2j exactly)
+        self._jit_half = [ival * self._jf for ival in self._intervals]
+        self._jit_span = [j + j for j in self._jit_half]
+        #: hot-loop view: (interval, -j, 2j) per protocol, one fetch
+        self._params = [
+            (ival, -j, span)
+            for ival, j, span in zip(
+                self._intervals, self._jit_half, self._jit_span
+            )
+        ]
+        #: the same three constants as float64 arrays, for the
+        #: vectorised per-batch gap computation (bit-identical ops)
+        self._iv_arr = np.array(self._intervals, dtype=np.float64)
+        self._neg_half_arr = -np.array(self._jit_half, dtype=np.float64)
+        self._span_arr = np.array(self._jit_span, dtype=np.float64)
+        #: smallest possible reschedule gap — the batch-horizon bound
+        self._min_gap = min(
+            ival - j for ival, j in zip(self._intervals, self._jit_half)
+        )
+        assert self._min_gap > 0.0
+
+        n_protocols = len(protocols)
+        self._capacity = 0
+        self._ids: List[str] = []
+        self._index: Dict[str, int] = {}
+        #: Python list, not numpy: the hot loop reads one flag per tick
+        #: and scalar list reads are several times cheaper.
+        self._online: List[bool] = []
+        self._online_since = np.zeros(0, dtype=np.float64)
+        self._next: List[np.ndarray] = [
+            np.zeros(0, dtype=np.float64) for _ in range(n_protocols)
+        ]
+        self._seq: List[np.ndarray] = [
+            np.zeros(0, dtype=np.int64) for _ in range(n_protocols)
+        ]
+        self._bmin: List[np.ndarray] = [
+            np.zeros(0, dtype=np.float64) for _ in range(n_protocols)
+        ]
+        #: per-peer pre-drawn jitter doubles (one chunk buffer per
+        #: row), cursors (== _JITTER_CHUNK ⇒ buffer empty), and lazy
+        #: per-peer streams
+        self._jit_buf = np.zeros((0, _JITTER_CHUNK), dtype=np.float64)
+        self._jit_pos = np.zeros(0, dtype=np.int64)
+        self._streams: List[Optional[np.random.Generator]] = []
+
+        #: telemetry
+        self.ticks_by_protocol = [0] * n_protocols
+        self.batches = 0
+        self.max_batch_size = 0
+        self.completed_session_seconds = 0.0
+
+        #: epochs: any write invalidates the peek cache; online/offline
+        #: flips additionally switch running batches to revalidation
+        self._write_epoch = 0
+        self._churn_epoch = 0
+        self._peek_cache: Optional[Tuple[float, int, int]] = None
+        self._peek_epoch = -1
+        #: in-flight batch state so an action that (re)starts a peer
+        #: mid-batch can reconcile its jitter cursor (the flush is the
+        #: normal cursor-advance point; see :meth:`_reconcile_cursor`)
+        self._inflight: Optional[Tuple[List[int], List[int], frozenset]] = None
+        self._inflight_reconciled: set = set()
+
+    # ------------------------------------------------------------------
+    # Peer lifecycle
+    # ------------------------------------------------------------------
+    def _grow(self, needed: int) -> None:
+        new_cap = max(self._capacity * 2, 1024)
+        while new_cap < needed:
+            new_cap *= 2
+        n_blocks = (new_cap + _BLOCK - 1) >> _BLOCK_SHIFT
+
+        def _resize(arr: np.ndarray, fill: object, dtype) -> np.ndarray:
+            out = np.full(new_cap, fill, dtype=dtype)
+            out[: arr.size] = arr
+            return out
+
+        self._online_since = _resize(self._online_since, np.nan, np.float64)
+        self._jit_pos = _resize(self._jit_pos, _JITTER_CHUNK, np.int64)
+        buf = np.zeros((new_cap, _JITTER_CHUNK), dtype=np.float64)
+        buf[: self._jit_buf.shape[0]] = self._jit_buf
+        self._jit_buf = buf
+        for p in range(len(self._next)):
+            self._next[p] = _resize(self._next[p], _INF, np.float64)
+            self._seq[p] = _resize(self._seq[p], 0, np.int64)
+            bmin = np.full(n_blocks, _INF, dtype=np.float64)
+            bmin[: self._bmin[p].size] = self._bmin[p]
+            self._bmin[p] = bmin
+        self._capacity = new_cap
+
+    def _add_peer(self, peer_id: str) -> int:
+        row = len(self._ids)
+        if row >= self._capacity:
+            self._grow(row + 1)
+        self._ids.append(peer_id)
+        self._index[peer_id] = row
+        self._online.append(False)
+        self._streams.append(None)
+        return row
+
+    def peer_online(self, peer_id: str, now: float) -> None:
+        """Start the peer's protocol loops (idempotent while online).
+
+        Draw order matches the object engine's ``proc.start()`` loop:
+        per protocol, one jitter draw then one sequence claim.
+        """
+        row = self._index.get(peer_id)
+        if row is None:
+            row = self._add_peer(peer_id)
+        if self._online[row]:
+            return
+        self._online[row] = True
+        self._online_since[row] = now
+        if self._inflight is not None:
+            self._reconcile_cursor(row)
+        for p in range(len(self._actions)):
+            self._schedule(p, row, now)
+        self._churn_epoch += 1
+        self._write_epoch += 1
+
+    def peer_offline(self, peer_id: str, now: float) -> None:
+        """Stop the peer's loops (idempotent while offline)."""
+        row = self._index.get(peer_id)
+        if row is None or not self._online[row]:
+            return
+        self._online[row] = False
+        since = float(self._online_since[row])
+        self._online_since[row] = np.nan
+        self.completed_session_seconds += max(0.0, now - since)
+        for col in self._next:
+            # Raising an entry leaves its block minimum stale-low; the
+            # peek path self-corrects by refreshing empty blocks.
+            col[row] = _INF
+        self._churn_epoch += 1
+        self._write_epoch += 1
+
+    def is_online(self, peer_id: str) -> bool:
+        row = self._index.get(peer_id)
+        return bool(row is not None and self._online[row])
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _draw(self, row: int) -> float:
+        """Next raw jitter double for the peer (chunked pre-draw)."""
+        pos = int(self._jit_pos[row])
+        if pos >= _JITTER_CHUNK:
+            stream = self._streams[row]
+            if stream is None:
+                stream = self._registry.stream("jitter", self._ids[row])
+                self._streams[row] = stream
+            self._jit_buf[row] = stream.random(_JITTER_CHUNK)
+            pos = 0
+        self._jit_pos[row] = pos + 1
+        return float(self._jit_buf[row, pos])
+
+    def _reconcile_cursor(self, row: int) -> None:
+        """A peer is (re)starting mid-batch.  Fast-path draws the
+        running batch consumed for this row have not advanced its
+        jitter cursor yet (the flush does that), so advance it now —
+        the fresh ``_schedule`` draw must continue the stream — and
+        mark the row so the flush does not advance it twice."""
+        if self._jf == 0.0 or row in self._inflight_reconciled:
+            return
+        row_list, seq_list, slow_set = self._inflight
+        consumed = 0
+        for k, r in enumerate(row_list):
+            if r == row and seq_list[k] > 0 and k not in slow_set:
+                consumed += 1
+        if consumed:
+            self._jit_pos[row] += consumed
+        self._inflight_reconciled.add(row)
+
+    def _schedule(self, p: int, row: int, base: float) -> None:
+        """Schedule protocol ``p``'s next tick for ``row`` after
+        ``base`` — one jitter draw (if jittered) then one seq claim,
+        the object engine's exact operation order."""
+        interval = self._intervals[p]
+        if self._jf > 0.0:
+            u = self._draw(row)
+            gap = interval + ((-self._jit_half[p]) + self._jit_span[p] * u)
+            gap = max(gap, 1e-9)
+        else:
+            gap = interval
+        seq = self._engine.claim_seq()
+        when = base + gap
+        self._next[p][row] = when
+        self._seq[p][row] = seq
+        bmin = self._bmin[p]
+        block = row >> _BLOCK_SHIFT
+        if when < bmin[block]:
+            bmin[block] = when
+
+    # ------------------------------------------------------------------
+    # Event-source interface (engine merge loop)
+    # ------------------------------------------------------------------
+    def _true_min(self) -> Optional[float]:
+        """Exact earliest pending tick time, refreshing stale block
+        minima (raised entries) along the way."""
+        while True:
+            t0 = _INF
+            for bmin in self._bmin:
+                if bmin.size:
+                    m = bmin.min()
+                    if m < t0:
+                        t0 = m
+            if t0 == _INF:
+                return None
+            found = False
+            for p, bmin in enumerate(self._bmin):
+                col = self._next[p]
+                for block in np.nonzero(bmin == t0)[0]:
+                    lo = int(block) << _BLOCK_SHIFT
+                    actual = col[lo : lo + _BLOCK].min()
+                    if actual > bmin[block]:
+                        bmin[block] = actual
+                    if actual == t0:
+                        found = True
+            if found:
+                return float(t0)
+
+    def peek_key(self) -> Optional[Tuple[float, int, int]]:
+        """``(time, priority, seq)`` of the earliest pending tick."""
+        if self._peek_epoch == self._write_epoch:
+            return self._peek_cache
+        t0 = self._true_min()
+        if t0 is None:
+            key = None
+        else:
+            best = None
+            for p, bmin in enumerate(self._bmin):
+                col = self._next[p]
+                seqs = self._seq[p]
+                for block in np.nonzero(bmin == t0)[0]:
+                    lo = int(block) << _BLOCK_SHIFT
+                    for off in np.nonzero(col[lo : lo + _BLOCK] == t0)[0]:
+                        seq = int(seqs[lo + int(off)])
+                        if best is None or seq < best:
+                            best = seq
+            assert best is not None
+            key = (t0, 0, best)
+        self._peek_cache = key
+        self._peek_epoch = self._write_epoch
+        return key
+
+    def run_due(self, limit_key: Optional[Tuple[float, int, int]]) -> int:
+        """Execute every pending tick with key ``< limit_key``.
+
+        ``limit_key=None`` (empty engine queue) runs one horizon batch.
+        Returns the number of ticks executed.
+        """
+        fired = 0
+        while True:
+            t0 = self._true_min()
+            if t0 is None:
+                break
+            if limit_key is not None:
+                limit_time, limit_prio, limit_seq = limit_key
+                if t0 > limit_time:
+                    break
+                if t0 == limit_time:
+                    ran = self._run_boundary(t0, limit_prio, limit_seq)
+                    fired += ran
+                    if ran == 0:
+                        break
+                    continue
+                horizon = min(t0 + self._min_gap, limit_time)
+            else:
+                horizon = t0 + self._min_gap
+            fired += self._run_span(horizon)
+            if limit_key is None:
+                break
+        return fired
+
+    def _run_span(self, horizon: float) -> int:
+        """Extract and execute all ticks with ``time < horizon``."""
+        times_parts: List[np.ndarray] = []
+        seq_parts: List[np.ndarray] = []
+        proto_parts: List[np.ndarray] = []
+        row_parts: List[np.ndarray] = []
+        for p, bmin in enumerate(self._bmin):
+            col = self._next[p]
+            seqs = self._seq[p]
+            for block in np.nonzero(bmin < horizon)[0]:
+                lo = int(block) << _BLOCK_SHIFT
+                window = col[lo : lo + _BLOCK]
+                offs = np.nonzero(window < horizon)[0]
+                if offs.size:
+                    rows = lo + offs
+                    times_parts.append(window[offs])
+                    seq_parts.append(seqs[rows])
+                    row_parts.append(rows)
+                    proto_parts.append(np.full(offs.size, p, dtype=np.int64))
+        if not times_parts:
+            return 0
+        times = np.concatenate(times_parts)
+        seqs = np.concatenate(seq_parts)
+        rows = np.concatenate(row_parts)
+        protos = np.concatenate(proto_parts)
+        order = np.lexsort((seqs, times))
+        times = times[order]
+        seqs = seqs[order]
+        protos = protos[order]
+        rows = rows[order]
+        when_list, fast_uniq, fast_counts, slow_set = self._prepare_batch(
+            times, protos, rows
+        )
+        return self._execute(
+            times.tolist(),
+            seqs,
+            protos,
+            rows,
+            when_list,
+            fast_uniq,
+            fast_counts,
+            slow_set,
+        )
+
+    def _prepare_batch(
+        self,
+        times: np.ndarray,
+        protos: np.ndarray,
+        rows: np.ndarray,
+    ) -> Tuple[
+        List[Optional[float]],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        frozenset,
+    ]:
+        """Vectorised pre-computation of each entry's reschedule time.
+
+        The gap arithmetic runs elementwise in float64 — the exact
+        operations of the scalar path, so the times are bit-identical
+        — and each entry's jitter double is gathered from its peer's
+        chunk buffer at ``cursor + occurrence-within-batch`` without
+        advancing any cursor (the flush advances cursors only for
+        draws the batch actually consumed).  Entries of a peer whose
+        buffer would run dry mid-batch take the scalar slow path
+        (``None`` marker); a peer's entries are all-fast or all-slow,
+        so the two paths never interleave on one cursor.
+        """
+        m = rows.size
+        if self._jf == 0.0:
+            when = times + self._iv_arr[protos]
+            return when.tolist(), None, None, _EMPTY_SET
+        order = np.argsort(rows, kind="stable")
+        rs = rows[order]
+        newgrp = np.empty(m, dtype=bool)
+        newgrp[0] = True
+        newgrp[1:] = rs[1:] != rs[:-1]
+        idx = np.arange(m)
+        occ_sorted = idx - np.maximum.accumulate(np.where(newgrp, idx, 0))
+        starts = np.nonzero(newgrp)[0]
+        uniq = rs[starts]
+        counts = np.diff(np.append(starts, m))
+        # a row is slow if its last draw this batch would cross the
+        # chunk boundary (or its buffer was never filled: cursor ==
+        # _JITTER_CHUNK)
+        row_slow = self._jit_pos[uniq] + counts > _JITTER_CHUNK
+        entry_slow = np.empty(m, dtype=bool)
+        entry_slow[order] = np.repeat(row_slow, counts)
+        end_pos = np.empty(m, dtype=np.int64)
+        end_pos[order] = self._jit_pos[rs] + occ_sorted
+        u = np.zeros(m, dtype=np.float64)
+        fast = np.nonzero(~entry_slow)[0]
+        u[fast] = self._jit_buf[rows[fast], end_pos[fast]]
+        gap = self._iv_arr[protos] + (
+            self._neg_half_arr[protos] + self._span_arr[protos] * u
+        )
+        when = times + np.maximum(gap, 1e-9)
+        when_list: List[Optional[float]] = when.tolist()
+        slow_ks = np.nonzero(entry_slow)[0].tolist()
+        for k in slow_ks:
+            when_list[k] = None
+        return (
+            when_list,
+            uniq[~row_slow],
+            counts[~row_slow],
+            frozenset(slow_ks),
+        )
+
+    def _run_boundary(self, t0: float, limit_prio: int, limit_seq: int) -> int:
+        """Execute ticks at exactly ``t0`` whose ``(0, seq)`` precedes
+        the heap event's ``(limit_prio, limit_seq)``."""
+        entries: List[Tuple[int, int, int]] = []  # (seq, proto, row)
+        for p, bmin in enumerate(self._bmin):
+            col = self._next[p]
+            seqs = self._seq[p]
+            for block in np.nonzero(bmin == t0)[0]:
+                lo = int(block) << _BLOCK_SHIFT
+                for off in np.nonzero(col[lo : lo + _BLOCK] == t0)[0]:
+                    row = lo + int(off)
+                    seq = int(seqs[row])
+                    if limit_prio > 0 or seq < limit_seq:
+                        entries.append((seq, p, row))
+        if not entries:
+            return 0
+        entries.sort()
+        m = len(entries)
+        return self._execute(
+            [t0] * m,
+            np.array([seq for seq, _p, _row in entries], dtype=np.int64),
+            np.array([p for _seq, p, _row in entries], dtype=np.int64),
+            np.array([row for _seq, _p, row in entries], dtype=np.int64),
+            [None] * m,
+            None,
+            None,
+            frozenset(range(m)),
+        )
+
+    def _execute(
+        self,
+        t_list: List[float],
+        s_arr: np.ndarray,
+        p_arr: np.ndarray,
+        r_arr: np.ndarray,
+        when_list: List[Optional[float]],
+        fast_uniq: Optional[np.ndarray],
+        fast_counts: Optional[np.ndarray],
+        slow_set: frozenset,
+    ) -> int:
+        """Dispatch one ordered batch, advancing the clock per tick.
+
+        This is the per-tick hot loop, and everything hoistable has
+        been hoisted: reschedule times come precomputed from
+        :meth:`_prepare_batch` (bit-identical float ops), and all
+        column scatters — ``next_tick``, ``seq``, the block minima,
+        the jitter cursors — are deferred to one flush per batch.
+        Per tick the loop runs the action, claims a sequence number
+        and records it; nothing touches numpy.
+
+        Deferral is sound because an entry's columns are only read
+        again after the flush: a peer cannot recur within a batch
+        (the horizon bound) and the next extraction happens after
+        this method returns.  A clean batch takes the vectorised
+        :meth:`_flush_fast`; mid-batch churn, truncation or an
+        offline-during-action entry switches to the per-entry
+        :meth:`_flush_careful`, which revalidates each write against
+        the columns (``peer_online``/``peer_offline`` write their
+        columns directly, so a superseded entry's column no longer
+        holds its extracted time).
+        """
+        engine = self._engine
+        online = self._online
+        nexts = self._next
+        actions = self._actions
+        ids = self._ids
+        params = self._params
+        jittered = self._jf > 0.0
+        draw = self._draw
+        epoch = self._churn_epoch
+        n = len(t_list)
+        p_list = p_arr.tolist()
+        row_list = r_arr.tolist()
+        #: per-entry claimed seq; -1 = skipped by revalidation,
+        #: 0 = executed but went offline during its own action
+        seq_list = [-1] * n
+        self._inflight = (row_list, seq_list, slow_set)
+        skipped = 0
+        unresched = 0
+        eseq = engine._seq
+        iterated = n
+        clock_checked = False
+        for k, t in enumerate(t_list):
+            p = p_list[k]
+            row = row_list[k]
+            if self._churn_epoch != epoch and (
+                not online[row] or nexts[p][row] != t
+            ):
+                # A peer flipped on/offline earlier in this batch and
+                # superseded (or cancelled) this entry.
+                skipped += 1
+                continue
+            # Inline advance_to: entries are time-sorted, so only the
+            # batch's first executed tick needs the backwards check.
+            if clock_checked:
+                engine._now = t
+            else:
+                engine.advance_to(t)
+                clock_checked = True
+            actions[p](ids[row])
+            seq_now = engine._seq
+            action_claimed = seq_now != eseq
+            if online[row]:
+                if when_list[k] is None:
+                    # Slow path: the peer's jitter chunk runs dry this
+                    # batch (or a boundary batch skipped the prepass) —
+                    # draw and compute the gap like the object engine.
+                    if jittered:
+                        u = draw(row)
+                        interval, neg_half, span = params[p]
+                        gap = interval + (neg_half + span * u)
+                        if gap < 1e-9:
+                            gap = 1e-9
+                    else:
+                        gap = params[p][0]
+                    when_list[k] = t + gap
+                eseq = seq_now + 1
+                engine._seq = eseq
+                seq_list[k] = eseq
+            else:
+                # Went offline during its own action: consumed already
+                # (``peer_offline`` raised the column to inf), and the
+                # object engine's stopped process draws nothing.
+                eseq = seq_now
+                seq_list[k] = 0
+                unresched += 1
+            if action_claimed and k + 1 < n:
+                # The action scheduled (or claimed seqs for) something;
+                # a new heap event may now precede the rest of the
+                # batch.  Re-merge through the engine when it does.
+                qkey = engine.next_event_key()
+                if qkey is not None and qkey < (t_list[k + 1], 0, s_arr[k + 1]):
+                    # Remaining entries stay scheduled in the columns
+                    # and are re-extracted on the next pass.
+                    iterated = k + 1
+                    break
+        count = iterated - skipped
+        if self._churn_epoch == epoch and iterated == n and unresched == 0:
+            self._flush_fast(
+                p_arr, r_arr, when_list, seq_list,
+                fast_uniq, fast_counts, jittered,
+            )
+        else:
+            self._flush_careful(
+                iterated, t_list, p_list, row_list,
+                when_list, seq_list, slow_set, jittered,
+            )
+        self._inflight = None
+        self._inflight_reconciled.clear()
+        self.batches += 1
+        if count > self.max_batch_size:
+            self.max_batch_size = count
+        self._write_epoch += 1
+        return count
+
+    def _flush_fast(
+        self,
+        p_arr: np.ndarray,
+        r_arr: np.ndarray,
+        when_list: List[float],
+        seq_list: List[int],
+        fast_uniq: Optional[np.ndarray],
+        fast_counts: Optional[np.ndarray],
+        jittered: bool,
+    ) -> None:
+        """Vectorised flush for the common batch: no churn, no
+        truncation, every entry executed and rescheduled."""
+        when_np = np.array(when_list, dtype=np.float64)
+        seq_np = np.array(seq_list, dtype=np.int64)
+        ticks_by_protocol = self.ticks_by_protocol
+        for p in range(len(self._next)):
+            sel = np.nonzero(p_arr == p)[0]
+            if not sel.size:
+                continue
+            ticks_by_protocol[p] += sel.size
+            r = r_arr[sel]
+            w = when_np[sel]
+            self._next[p][r] = w
+            self._seq[p][r] = seq_np[sel]
+            # block minima: per-block group-min via one sort + reduceat
+            blocks = r >> _BLOCK_SHIFT
+            o = np.argsort(blocks, kind="stable")
+            b = blocks[o]
+            newb = np.empty(b.size, dtype=bool)
+            newb[0] = True
+            newb[1:] = b[1:] != b[:-1]
+            starts = np.nonzero(newb)[0]
+            mins = np.minimum.reduceat(w[o], starts)
+            bmin = self._bmin[p]
+            ub = b[starts]
+            bmin[ub] = np.minimum(bmin[ub], mins)
+        if jittered and fast_uniq is not None and fast_uniq.size:
+            self._jit_pos[fast_uniq] += fast_counts
+
+    def _flush_careful(
+        self,
+        iterated: int,
+        t_list: List[float],
+        p_list: List[int],
+        row_list: List[int],
+        when_list: List[Optional[float]],
+        seq_list: List[int],
+        slow_set: frozenset,
+        jittered: bool,
+    ) -> None:
+        """Per-entry flush for batches with churn, truncation or
+        offline-during-action entries.  Each write is revalidated
+        against the column (a superseded entry's column no longer
+        holds its extracted time), and jitter cursors advance only
+        for draws the batch actually consumed from the fast buffers
+        (slow-path draws advanced theirs inline; cursors reconciled
+        mid-batch by ``peer_online`` are skipped)."""
+        ticks_by_protocol = self.ticks_by_protocol
+        reconciled = self._inflight_reconciled
+        consumed: Dict[int, int] = {}
+        for k in range(iterated):
+            s = seq_list[k]
+            if s < 0:
+                continue  # skipped by churn revalidation
+            p = p_list[k]
+            ticks_by_protocol[p] += 1
+            if s == 0:
+                continue  # executed, went offline during its action
+            row = row_list[k]
+            if jittered and k not in slow_set and row not in reconciled:
+                # The draw was consumed when the entry executed, even
+                # if churn later superseded the reschedule itself.
+                consumed[row] = consumed.get(row, 0) + 1
+            col = self._next[p]
+            if col[row] != t_list[k]:
+                continue  # superseded after execution (churn)
+            when = when_list[k]
+            col[row] = when
+            self._seq[p][row] = s
+            bmin = self._bmin[p]
+            block = row >> _BLOCK_SHIFT
+            if when < bmin[block]:
+                bmin[block] = when
+        for row, c in consumed.items():
+            self._jit_pos[row] += c
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def telemetry(self) -> Dict[str, object]:
+        """Counters for ``run_summary()``: population size, online
+        count, ticks dispatched per protocol, and batch shape."""
+        ticks = sum(self.ticks_by_protocol)
+        peers_online = sum(self._online)
+        return {
+            "engine": "soa",
+            "peers_total": len(self._ids),
+            "peers_online": peers_online,
+            "ticks": ticks,
+            "batches": self.batches,
+            "mean_batch_size": (ticks / self.batches) if self.batches else 0.0,
+            "max_batch_size": self.max_batch_size,
+            "ticks_by_protocol": dict(zip(self._names, self.ticks_by_protocol)),
+            "completed_session_seconds": self.completed_session_seconds,
+        }

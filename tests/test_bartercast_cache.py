@@ -324,6 +324,10 @@ class TestCacheStats:
             "contribution_invalidations",
             "contribution_bypasses",
             "contribution_evictions",
+            "contribution_hit_rate",
+            "contrib_cache_cap",
+            "contrib_cache_entries_total",
+            "contrib_cache_memory_bytes",
             "batch_hits",
             "batch_misses",
             "records_hits",
@@ -427,3 +431,35 @@ class TestExperienceBatch:
         exp = AlwaysExperienced()
         batch = exp.experienced_many("a", ["a", "b"])
         assert batch == {"a": False, "b": True}
+
+
+class TestAdaptiveCacheBudget:
+    def test_formula_scales_with_sqrt_population(self):
+        from repro.bartercast.protocol import adaptive_contrib_cache_entries
+
+        assert adaptive_contrib_cache_entries(0) == 0
+        assert adaptive_contrib_cache_entries(10_000) == 0  # unbounded is fine
+        assert adaptive_contrib_cache_entries(10_001) == 1024  # floor applies
+        assert adaptive_contrib_cache_entries(1_000_000) == 8_000
+        with pytest.raises(ValueError):
+            adaptive_contrib_cache_entries(-1)
+
+    def test_resolve_only_when_unset(self):
+        svc = make_service()  # contrib_cache_entries defaults to None
+        assert svc.resolve_cache_budget(1_000_000) == 8_000
+        assert svc._contrib_cap == 8_000
+
+        pinned = make_service(contrib_cache_entries=77)
+        assert pinned.resolve_cache_budget(1_000_000) == 77
+        assert pinned._contrib_cap == 77
+
+    def test_stats_report_hit_rate_and_memory(self):
+        svc = make_service()
+        svc.local_transfer("a", "b", 4 * MB, now=0.0)
+        svc.contribution("a", "b")  # miss
+        svc.contribution("a", "b")  # hit
+        stats = svc.cache_stats()
+        assert stats["contribution_hit_rate"] == pytest.approx(0.5)
+        assert stats["contrib_cache_entries_total"] == 1
+        assert stats["contrib_cache_memory_bytes"] == 200
+        assert stats["contrib_cache_cap"] == 0

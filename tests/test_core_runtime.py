@@ -284,3 +284,46 @@ def test_runtime_config_validation():
         RuntimeConfig(vote_interval=0.0)
     with pytest.raises(ValueError):
         RuntimeConfig(jitter_fraction=1.5)
+
+
+def test_vote_fanout_determinism_and_reverse_batch():
+    """fanout > 1 exercises the hoisted reverse-direction experience
+    batch in ``_vote_tick`` (one wrapped ``[peer_id]`` per tick, not
+    one per partner): repeated runs must agree exactly, and votes must
+    still disseminate."""
+    trace = always_online_trace(n=8)
+
+    def run():
+        engine, session, runtime = build(
+            trace,
+            seed=11,
+            runtime_config=RuntimeConfig(
+                moderation_interval=120.0,
+                vote_interval=120.0,
+                bartercast_interval=120.0,
+                experience_threshold=1 * MB,
+                vote_fanout=3,
+            ),
+        )
+        m = runtime.ensure_node("p1")
+        m.create_moderation("t", "x", now=0.0)
+        runtime.ensure_node("p2").set_vote_intention("p1", Vote.POSITIVE)
+        session.start()
+        engine.run_until(3 * HOUR)
+        summary = runtime.run_summary()
+        summary.pop("population")
+        states = {
+            pid: (
+                len(n.store),
+                n.ballot_box.num_unique_users(),
+                n.ballot_box.score("p1"),
+            )
+            for pid, n in sorted(runtime.nodes.items())
+        }
+        return summary, states
+
+    first, second = run(), run()
+    assert first == second
+    summary, states = first
+    assert summary["nodes"]["votes_merged"] > 0
+    assert any(box_users > 0 for _len, box_users, _score in states.values())

@@ -1,0 +1,410 @@
+"""The structure-of-arrays population engine vs the object engine.
+
+The SoA scheduler's contract is *bit-identity*: same tick schedule,
+same RNG stream consumption, same results — only faster.  These tests
+pin the contract at every level: raw jitter arithmetic, the engine
+merge order, full-stack runs with churn on and off, and the Fig 5 /
+Fig 6 series.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bittorrent.session import BitTorrentSession, SessionConfig
+from repro.core.experience import AdaptiveThresholdExperience
+from repro.core.runtime import ProtocolRuntime, RuntimeConfig
+from repro.core.votes import Vote
+from repro.sim.engine import Engine
+from repro.sim.population import PopulationEngine
+from repro.sim.rng import RngRegistry
+from repro.sim.units import HOUR, MB
+from repro.traces.generator import TraceGenerator, TraceGeneratorConfig
+from repro.traces.model import (
+    EventKind,
+    PeerProfile,
+    SwarmSpec,
+    Trace,
+    TraceEvent,
+)
+
+
+# ----------------------------------------------------------------------
+# Jitter arithmetic guard
+# ----------------------------------------------------------------------
+def test_vectorised_jitter_matches_scalar_uniform():
+    """The SoA gap formula consumes ``Generator.random()`` doubles and
+    must reproduce ``Generator.uniform(-j, +j)`` bit-for-bit, including
+    chunked pre-draws — the foundation of schedule bit-identity."""
+    jitters = [30.0, 12.0, 90.0, 6.0, 90.0]
+    scalar_gen = RngRegistry(7).stream("jitter", "p1")
+    scalar = [
+        300.0 + scalar_gen.uniform(-j, j) for j in jitters for _ in range(4)
+    ]
+    chunked_gen = RngRegistry(7).stream("jitter", "p1")
+    raw = np.concatenate([chunked_gen.random(4) for _ in range(5)]).tolist()
+    vectorised = [
+        300.0 + ((-j) + (j + j) * raw[k * 4 + i])
+        for k, j in enumerate(jitters)
+        for i in range(4)
+    ]
+    assert scalar == vectorised
+
+
+# ----------------------------------------------------------------------
+# PopulationEngine unit behaviour
+# ----------------------------------------------------------------------
+def test_population_engine_basic_ticking():
+    eng = Engine()
+    hits = []
+    pop = PopulationEngine(
+        eng,
+        RngRegistry(0),
+        [("loop", 10.0, lambda pid: hits.append((eng.now, pid)))],
+        jitter_fraction=0.1,
+    )
+    eng.attach_source(pop)
+    pop.peer_online("x", 0.0)
+    pop.peer_online("y", 0.0)
+    eng.run_until(100.0)
+    assert len(hits) == 19  # ~10 ticks per peer within 100 s, jittered
+    times = [t for t, _pid in hits]
+    assert times == sorted(times)
+    assert eng.events_fired == 19
+
+
+def test_population_engine_offline_stops_ticks():
+    eng = Engine()
+    hits = []
+    pop = PopulationEngine(
+        eng, RngRegistry(0), [("loop", 10.0, lambda pid: hits.append(pid))]
+    )
+    eng.attach_source(pop)
+    pop.peer_online("x", 0.0)
+    eng.run_until(35.0)
+    assert hits == ["x", "x", "x"]
+    pop.peer_offline("x", eng.now)
+    eng.run_until(100.0)
+    assert hits == ["x", "x", "x"]
+    assert not pop.is_online("x")
+
+
+def test_population_engine_growth_past_one_block():
+    """More peers than one 2048-wide index block and one growth step."""
+    eng = Engine()
+    count = [0]
+    pop = PopulationEngine(
+        eng, RngRegistry(1), [("loop", 50.0, lambda pid: count.__setitem__(0, count[0] + 1))]
+    )
+    eng.attach_source(pop)
+    n = 3000
+    for i in range(n):
+        pop.peer_online(f"p{i}", 0.0)
+    assert len(pop) == n
+    eng.run_until(60.0)
+    assert count[0] == n  # each peer ticked exactly once within 50±0 s
+    telemetry = pop.telemetry()
+    assert telemetry["peers_online"] == n
+    assert telemetry["ticks"] == n
+    assert telemetry["max_batch_size"] >= 1
+
+
+def test_population_engine_validation():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        PopulationEngine(eng, RngRegistry(0), [])
+    with pytest.raises(ValueError):
+        PopulationEngine(eng, RngRegistry(0), [("a", 0.0, lambda pid: None)])
+    with pytest.raises(ValueError):
+        PopulationEngine(
+            eng, RngRegistry(0), [("a", 1.0, lambda pid: None)], jitter_fraction=1.0
+        )
+
+
+def test_attach_source_twice_raises():
+    from repro.sim.engine import SimulationError
+
+    eng = Engine()
+    pop = PopulationEngine(eng, RngRegistry(0), [("a", 1.0, lambda pid: None)])
+    eng.attach_source(pop)
+    with pytest.raises(SimulationError):
+        eng.attach_source(pop)
+
+
+def test_ticks_interleave_with_heap_events_in_time_order():
+    eng = Engine()
+    order = []
+    pop = PopulationEngine(
+        eng, RngRegistry(0), [("loop", 10.0, lambda pid: order.append(("tick", eng.now)))]
+    )
+    eng.attach_source(pop)
+    pop.peer_online("x", 0.0)
+    for t in (5.0, 15.0, 25.0):
+        eng.schedule(t, lambda: order.append(("heap", eng.now)))
+    eng.run_until(30.0)
+    times = [t for _kind, t in order]
+    assert times == sorted(times)
+    assert [k for k, _t in order].count("heap") == 3
+
+
+# ----------------------------------------------------------------------
+# Full-stack equivalence
+# ----------------------------------------------------------------------
+def always_online_trace(n=8, duration=6 * HOUR):
+    peers = {}
+    events = []
+    for i in range(n):
+        pid = f"p{i}"
+        peers[pid] = PeerProfile(pid, upload_capacity=200_000.0)
+        t0 = float(i)
+        events.append(TraceEvent(t0, pid, EventKind.SESSION_START))
+        events.append(TraceEvent(t0, pid, EventKind.SWARM_JOIN, "s0"))
+    swarms = {
+        "s0": SwarmSpec("s0", file_size=100 * 256 * 1024, initial_seeder="p0")
+    }
+    trace = Trace(
+        duration=duration,
+        peers=peers,
+        swarms=swarms,
+        events=Trace.sorted_events(events),
+    )
+    trace.validate()
+    return trace
+
+
+def churn_trace(n=30, duration=6 * HOUR, seed=5):
+    return TraceGenerator(
+        TraceGeneratorConfig(n_peers=n, duration=duration, n_swarms=4),
+        seed=seed,
+    ).generate()
+
+
+def run_stack(engine_kind, trace, seed=11, hours=6, config_kwargs=None, adaptive=False):
+    """One full protocol run; returns (tick log, run_summary minus
+    population, per-node fingerprint, population telemetry)."""
+    engine = Engine()
+    rng = RngRegistry(seed)
+    session = BitTorrentSession(
+        engine, trace, rng, config=SessionConfig(round_interval=60.0)
+    )
+    kwargs = dict(
+        moderation_interval=120.0,
+        vote_interval=120.0,
+        bartercast_interval=300.0,
+        experience_threshold=1 * MB,
+        population_engine=engine_kind,
+    )
+    kwargs.update(config_kwargs or {})
+    runtime = ProtocolRuntime(session, rng, config=RuntimeConfig(**kwargs))
+    if adaptive:
+        runtime.experience = AdaptiveThresholdExperience(
+            runtime.bartercast, d_max=0.5, step=1 * MB
+        )
+    log = []
+    for name in (
+        "_moderation_tick",
+        "_vote_tick",
+        "_bartercast_tick",
+        "_newscast_tick",
+        "_adaptive_tick",
+    ):
+        orig = getattr(runtime, name)
+
+        def wrap(orig=orig, name=name):
+            def tick(pid):
+                log.append((engine.now, name, pid))
+                return orig(pid)
+
+            return tick
+
+        setattr(runtime, name, wrap())
+    pids = sorted(trace.peers)
+    moderator = runtime.ensure_node(pids[0])
+    moderator.create_moderation("t-file", "x", now=0.0)
+    runtime.ensure_node(pids[1]).set_vote_intention(pids[0], Vote.POSITIVE)
+    session.start()
+    engine.run_until(hours * HOUR)
+    summary = runtime.run_summary()
+    population = summary.pop("population")
+    states = {
+        pid: (
+            len(node.store),
+            node.ballot_box.num_unique_users(),
+            node.ballot_box.score(pids[0]),
+            node.online,
+        )
+        for pid, node in sorted(runtime.nodes.items())
+    }
+    return log, summary, states, population
+
+
+def assert_engines_equivalent(trace, **kwargs):
+    log_o, summary_o, states_o, pop_o = run_stack("object", trace, **kwargs)
+    log_s, summary_s, states_s, pop_s = run_stack("soa", trace, **kwargs)
+    assert log_o == log_s  # bit-identical tick schedule
+    assert summary_o == summary_s
+    assert states_o == states_s
+    assert pop_o["ticks"] == pop_s["ticks"]
+    assert pop_o["peers_online"] == pop_s["peers_online"]
+    assert pop_s["engine"] == "soa" and pop_o["engine"] == "object"
+    return pop_s
+
+
+def test_engines_identical_under_churn():
+    pop = assert_engines_equivalent(churn_trace())
+    # Batching actually happened (the point of the SoA engine).
+    assert pop["batches"] < pop["ticks"]
+    assert pop["mean_batch_size"] > 1.0
+
+
+def test_engines_identical_always_online():
+    assert_engines_equivalent(always_online_trace())
+
+
+def test_engines_identical_with_newscast_and_message_loss():
+    assert_engines_equivalent(
+        churn_trace(n=20),
+        config_kwargs={"use_newscast": True, "message_loss": 0.1},
+    )
+
+
+def test_engines_identical_with_adaptive_experience_and_fanout():
+    assert_engines_equivalent(
+        churn_trace(n=20), config_kwargs={"vote_fanout": 3}, adaptive=True
+    )
+
+
+def test_bring_online_external_peer_under_soa():
+    trace = always_online_trace(n=4)
+    engine = Engine()
+    rng = RngRegistry(0)
+    session = BitTorrentSession(
+        engine, trace, rng, config=SessionConfig(round_interval=60.0)
+    )
+    runtime = ProtocolRuntime(
+        session,
+        rng,
+        config=RuntimeConfig(
+            moderation_interval=120.0,
+            vote_interval=120.0,
+            bartercast_interval=120.0,
+            population_engine="soa",
+        ),
+    )
+    session.start()
+    engine.run_until(1 * HOUR)
+    runtime.bring_online("attacker", engine.now)
+    assert runtime.nodes["attacker"].online
+    assert runtime._population.is_online("attacker")
+    engine.run_until(2 * HOUR)
+    runtime.take_offline("attacker", engine.now)
+    assert not runtime.nodes["attacker"].online
+    assert not runtime._population.is_online("attacker")
+
+
+def test_auto_selects_engine_by_population():
+    trace = always_online_trace(n=6)
+
+    def build(threshold):
+        engine = Engine()
+        rng = RngRegistry(0)
+        session = BitTorrentSession(engine, trace, rng)
+        return ProtocolRuntime(
+            session,
+            rng,
+            config=RuntimeConfig(population_engine_threshold=threshold),
+        )
+
+    assert build(threshold=100).population_engine == "object"
+    assert build(threshold=5).population_engine == "soa"
+
+
+def test_population_telemetry_in_run_summary():
+    trace = churn_trace(n=10, duration=2 * HOUR)
+    for kind in ("object", "soa"):
+        _log, _summary, _states, pop = run_stack(kind, trace, hours=2)
+        assert pop["engine"] == kind
+        assert pop["ticks"] > 0
+        assert pop["batches"] > 0
+        assert pop["mean_batch_size"] >= 1.0
+        assert pop["max_batch_size"] >= 1
+        assert set(pop["ticks_by_protocol"]) == {
+            "moderation",
+            "vote",
+            "bartercast",
+        }
+        assert sum(pop["ticks_by_protocol"].values()) == pop["ticks"]
+
+
+def test_runtime_config_validates_population_engine():
+    with pytest.raises(ValueError):
+        RuntimeConfig(population_engine="threads")
+    with pytest.raises(ValueError):
+        RuntimeConfig(population_engine_threshold=-1)
+
+
+# ----------------------------------------------------------------------
+# Figure-level equivalence (satellite: Fig 5 / Fig 6 series)
+# ----------------------------------------------------------------------
+def _series_arrays(result):
+    return {
+        key: series.values.copy() for key, series in sorted(result.series.items())
+    }
+
+
+def test_fig6_series_identical_across_engines():
+    from repro.core.node import NodeConfig
+    from repro.experiments.vote_sampling import (
+        VoteSamplingConfig,
+        VoteSamplingExperiment,
+    )
+
+    def run(kind):
+        node = NodeConfig(b_min=5, b_max=100, v_max=10, k=3)
+        cfg = VoteSamplingConfig(
+            seed=3,
+            duration=6 * HOUR,
+            trace=TraceGeneratorConfig(n_peers=30, n_swarms=4, duration=6 * HOUR),
+            node=node,
+            runtime=RuntimeConfig(
+                node=node,
+                experience_threshold=5 * MB,
+                population_engine=kind,
+            ),
+        )
+        return VoteSamplingExperiment(cfg).run()
+
+    result_object = run("object")
+    result_soa = run("soa")
+    series_object = _series_arrays(result_object)
+    series_soa = _series_arrays(result_soa)
+    assert list(series_object) == list(series_soa)
+    for key in series_object:
+        assert np.array_equal(series_object[key], series_soa[key]), key
+    meta_o = result_object.metadata["run_summary"]
+    meta_s = result_soa.metadata["run_summary"]
+    meta_o.pop("population")
+    meta_s.pop("population")
+    assert meta_o == meta_s
+
+
+def test_fig5_series_identical_across_engines():
+    from repro.experiments.experience_formation import (
+        ExperienceFormationConfig,
+        ExperienceFormationExperiment,
+    )
+
+    def run(kind):
+        cfg = ExperienceFormationConfig(
+            seed=3,
+            duration=6 * HOUR,
+            thresholds=(2 * MB, 5 * MB),
+            trace=TraceGeneratorConfig(n_peers=25, n_swarms=3, duration=6 * HOUR),
+            runtime=RuntimeConfig(population_engine=kind),
+        )
+        return ExperienceFormationExperiment(cfg).run()
+
+    series_object = _series_arrays(run("object"))
+    series_soa = _series_arrays(run("soa"))
+    assert list(series_object) == list(series_soa)
+    for key in series_object:
+        assert np.array_equal(series_object[key], series_soa[key]), key
