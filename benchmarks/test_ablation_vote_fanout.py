@@ -1,0 +1,80 @@
+"""A9 — vote-exchange fan-out (§V-A, carried forward from PR 2).
+
+The paper's vote tick contacts exactly one partner per interval.
+Sweeping ``vote_fanout`` shows the trade: ballot traffic scales
+roughly linearly with the fan-out while the convergence gain
+diminishes, because epidemic dissemination is already exponential at
+fan-out 1.  Expected shape: fanout=4 converges no later than
+fanout=1, but pays several times the vote bytes for at most a modest
+correctness lead — supporting the single-partner loop.
+
+The quick-scale sweep also renders ``results/ablation_fanout.svg``.
+"""
+
+from pathlib import Path
+
+import pytest
+from conftest import run_once, scaled_duration, scaled_trace
+
+from repro.experiments.ablations import ablation_vote_fanout
+from repro.experiments.vote_sampling import VoteSamplingConfig
+from repro.viz.svg import render_series
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+FANOUTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def a9_results():
+    duration = scaled_duration(full_days=7, quick_hours=30)
+    cfg = VoteSamplingConfig(
+        seed=11,
+        duration=duration,
+        sample_interval=3 * 3600.0,
+        trace=scaled_trace(duration, quick_peers=50, quick_swarms=6),
+    )
+    return ablation_vote_fanout(cfg, fanouts=FANOUTS)
+
+
+def test_a9_regenerate(benchmark, a9_results):
+    def report():
+        print("\nA9 — vote fan-out: convergence vs ballot traffic")
+        for label, r in a9_results.items():
+            s = r.get("correct_fraction")
+            kb = r.metadata["ballotbox_bytes"] / 1e3
+            print(
+                f"  {label:<9} final={s.final():.3f} "
+                f"mean={s.values.mean():.3f} ballot_kb={kb:.0f}"
+            )
+        RESULTS.mkdir(exist_ok=True)
+        render_series(
+            {k: r.get("correct_fraction") for k, r in a9_results.items()},
+            "A9 — vote fan-out on the Fig 6 workload",
+            RESULTS / "ablation_fanout.svg",
+            y_label="correct-order fraction",
+        )
+        return a9_results
+
+    results = run_once(benchmark, report)
+    assert set(results) == {f"fanout={f}" for f in FANOUTS}
+
+
+def test_a9_traffic_scales_with_fanout(a9_results):
+    """More partners per tick must cost strictly more ballot bytes."""
+    byte_counts = [
+        a9_results[f"fanout={f}"].metadata["ballotbox_bytes"] for f in FANOUTS
+    ]
+    assert byte_counts == sorted(byte_counts)
+    assert byte_counts[-1] > byte_counts[0]
+    # Roughly linear: fanout=4 should cost at least 2x fanout=1.
+    assert byte_counts[-1] >= 2.0 * byte_counts[0]
+
+
+def test_a9_higher_fanout_no_worse(a9_results):
+    """Extra partners must not hurt convergence (they buy little,
+    but they never subtract information)."""
+    base = a9_results["fanout=1"].get("correct_fraction").values.mean()
+    for f in FANOUTS[1:]:
+        mean = a9_results[f"fanout={f}"].get("correct_fraction").values.mean()
+        assert mean >= 0.8 * base, (f, base, mean)

@@ -19,6 +19,7 @@ Three protocols plus the experience function (§II–§V):
 """
 
 from repro.core.ballotbox import BallotBox
+from repro.core.columnar import ColumnarBallotBox, ColumnarStateStore, RowTable
 from repro.core.experience import (
     AdaptiveThresholdExperience,
     AlwaysExperienced,
@@ -41,6 +42,9 @@ from repro.core.voxpopuli import TopKCache
 
 __all__ = [
     "BallotBox",
+    "ColumnarBallotBox",
+    "ColumnarStateStore",
+    "RowTable",
     "ExperienceFunction",
     "ThresholdExperience",
     "AdaptiveThresholdExperience",

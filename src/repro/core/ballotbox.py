@@ -29,6 +29,9 @@ class BallotBox:
         #: voter -> last time we received votes from them
         self._last_received: Dict[str, float] = {}
         self._seq = 0
+        #: voter -> recency stamp, kept in *recency order*: a bump pops
+        #: and re-inserts (move-to-end), so the dict's insertion order
+        #: IS the eviction order and the oldest voter is the head.
         self._voter_order: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -61,14 +64,24 @@ class BallotBox:
             # shipping empty-calorie exchanges.
             return 0
         self._last_received[voter] = now
-        self._seq += 1
-        self._voter_order[voter] = self._seq
+        self._bump_recency(voter)
         self._evict()
         return stored
 
+    def _bump_recency(self, voter: str) -> None:
+        """Move the voter to the end of the recency order.  A plain
+        value assignment would keep the dict's original insertion
+        position, so an existing key is popped first."""
+        self._seq += 1
+        self._voter_order.pop(voter, None)
+        self._voter_order[voter] = self._seq
+
     def _evict(self) -> None:
+        # The recency-ordered dict makes the victim the head — O(1)
+        # amortised per eviction instead of a min-scan over every
+        # voter per merge under eviction pressure.
         while len(self._votes) > self.b_max:
-            victim = min(self._voter_order, key=lambda v: self._voter_order[v])
+            victim = next(iter(self._voter_order))
             self._votes.pop(victim, None)
             self._last_received.pop(victim, None)
             self._voter_order.pop(victim, None)
@@ -96,8 +109,7 @@ class BallotBox:
             return
         self._votes[voter] = stored
         self._last_received[voter] = last_received
-        self._seq += 1
-        self._voter_order[voter] = self._seq
+        self._bump_recency(voter)
         self._evict()
 
     def remove_voter(self, voter: str) -> bool:
@@ -121,7 +133,7 @@ class BallotBox:
         """Voters ordered oldest-received first — the order `B_max`
         eviction consumes them (persistence saves in this order so a
         restored box evicts the same victims)."""
-        return sorted(self._votes, key=lambda v: self._voter_order[v])
+        return list(self._voter_order)
 
     def votes_of(self, voter: str) -> List[Tuple[str, Vote, float]]:
         """One voter's stored ``(moderator, vote, received_at)``

@@ -1,0 +1,553 @@
+"""Columnar protocol state — structure-of-arrays node state (phase 2).
+
+PR 6 made the tick *scheduler* columnar (:mod:`repro.sim.population`);
+this module does the same for the protocol *state*.  A
+:class:`ColumnarStateStore` holds, for every known peer, numpy columns
+keyed by the population engine's row↔peer-id table
+(:class:`RowTable`):
+
+* **ballot-box occupancy** — per-(box, voter) vote counts
+  (``bb_nvotes``), ``last_received`` recency (``bb_last``) and the
+  ``B_max`` eviction order (``bb_order``), in ``[box_row, slot]``
+  2-D columns with swap-remove slot recycling;
+* **experience thresholds** — the adaptive-T controller's per-node
+  threshold (``exp_threshold``), read as a column slice by the batched
+  experience gate;
+* **vote / moderation store membership** — ``vl_size`` and
+  ``store_size`` per peer, so a whole due batch can skip empty
+  exchanges with one gather.
+
+:class:`ColumnarBallotBox` is a drop-in :class:`~repro.core.ballotbox
+.BallotBox` whose state lives in the store's columns; the object API
+(and therefore persistence FORMAT_VERSION 2 and every existing test)
+is unchanged, and the semantics — self-vote drops, store-nothing
+merges leaving recency untouched, oldest-voter eviction — are
+bit-identical to the dict implementation (property-tested in
+``tests/test_core_columnar.py``).
+
+Box rows are allocated lazily on first merge (``_box_of``
+indirection), and the slot width grows in powers of two up to the
+widest ``b_max`` actually used, so a million-peer population whose
+boxes stay empty pays nothing for the 2-D columns.
+
+Vote payloads (``moderator → (vote, received_at)``) stay in per-slot
+Python dicts: they are string-keyed, variable-width and read whole
+(``votes_of``/``all_counts``), so a numpy layout would buy nothing —
+the columns carry exactly the fixed-width state the batched merge and
+eviction path actually computes on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.ballotbox import BallotBox
+from repro.core.votes import Vote, VoteEntry
+
+
+class RowTable:
+    """Append-only ``peer_id ↔ row`` assignment shared by the
+    population engine and the state store.
+
+    Rows are dense (``0 .. len-1``) and never reused, so any component
+    may key a column by row.  ``ids`` and ``index`` are exposed
+    directly — the population engine's hot loop reads them without a
+    method call — but must only be mutated through :meth:`row`.
+    """
+
+    __slots__ = ("ids", "index")
+
+    def __init__(self) -> None:
+        self.ids: List[str] = []
+        self.index: Dict[str, int] = {}
+
+    def row(self, peer_id: str) -> int:
+        """The peer's row, assigned on first sight."""
+        row = self.index.get(peer_id)
+        if row is None:
+            row = len(self.ids)
+            self.ids.append(peer_id)
+            self.index[peer_id] = row
+        return row
+
+    def get(self, peer_id: str) -> Optional[int]:
+        return self.index.get(peer_id)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class ColumnarStateStore:
+    """Structure-of-arrays protocol state for a whole population."""
+
+    def __init__(self, rows: Optional[RowTable] = None):
+        self.rows = rows if rows is not None else RowTable()
+        self._cap = 0
+        #: unique voters currently in the peer's ballot box
+        self.bb_unique = np.zeros(0, dtype=np.int32)
+        #: entries in the peer's local vote list
+        self.vl_size = np.zeros(0, dtype=np.int32)
+        #: moderations in the peer's local store
+        self.store_size = np.zeros(0, dtype=np.int32)
+        #: adaptive experience threshold T (bytes); 0 = accept all
+        self.exp_threshold = np.zeros(0, dtype=np.float64)
+
+        # Ballot-box sub-store: box rows are allocated on first merge
+        # (``_box_of`` indirection), slots within a box are recycled
+        # with swap-remove.  Scalar per-box bookkeeping (``_box_of``,
+        # ``bb_used``, ``_bb_seq``) lives in plain Python lists — the
+        # merge hot path reads and writes them one element at a time,
+        # where list indexing is several times cheaper than a numpy
+        # scalar access — while the per-(box, slot) state stays in 2-D
+        # numpy columns for the vectorised reads and the memory win.
+        self._box_of: List[int] = []
+        self._box_cap = 0
+        self._width = 0
+        self._n_boxes = 0
+        #: ``[box_row, slot] -> voter row`` (-1 = free slot)
+        self.bb_voter = np.full((0, 0), -1, dtype=np.int32)
+        #: ``last_received`` per (box, slot)
+        self.bb_last = np.zeros((0, 0), dtype=np.float64)
+        #: recency stamp per (box, slot) — strictly increasing per box
+        self.bb_order = np.zeros((0, 0), dtype=np.int64)
+        #: stored votes per (box, slot)
+        self.bb_nvotes = np.zeros((0, 0), dtype=np.int32)
+        #: occupied slots per box
+        self.bb_used: List[int] = []
+        self._bb_seq: List[int] = []
+        #: per box: ``voter row -> slot``, insertion-ordered by recency
+        #: (move-to-end on bump) — O(1) eviction victim at the head
+        self._slots: List[Dict[int, int]] = []
+        #: per box, per slot: ``moderator -> (vote, received_at)``
+        self._payload: List[List[Optional[Dict[str, Tuple[Vote, float]]]]] = []
+
+    # ------------------------------------------------------------------
+    # Row / box allocation
+    # ------------------------------------------------------------------
+    def ensure_row(self, peer_id: str) -> int:
+        """The peer's row, growing the per-row columns to cover it."""
+        row = self.rows.row(peer_id)
+        if row >= self._cap:
+            self._grow_rows(row + 1)
+        return row
+
+    def _grow_rows(self, needed: int) -> None:
+        new_cap = max(self._cap * 2, 1024)
+        while new_cap < needed:
+            new_cap *= 2
+
+        def _resize(arr: np.ndarray, fill, dtype) -> np.ndarray:
+            out = np.full(new_cap, fill, dtype=dtype)
+            out[: arr.size] = arr
+            return out
+
+        self.bb_unique = _resize(self.bb_unique, 0, np.int32)
+        self.vl_size = _resize(self.vl_size, 0, np.int32)
+        self.store_size = _resize(self.store_size, 0, np.int32)
+        self.exp_threshold = _resize(self.exp_threshold, 0.0, np.float64)
+        self._box_of.extend([-1] * (new_cap - len(self._box_of)))
+        self._cap = new_cap
+
+    def _box_row(self, owner_row: int) -> int:
+        box = self._box_of[owner_row]
+        if box >= 0:
+            return box
+        box = self._n_boxes
+        if box >= self._box_cap:
+            self._grow_boxes(box + 1)
+        self._n_boxes = box + 1
+        self._box_of[owner_row] = box
+        self._slots.append({})
+        self._payload.append([None] * self._width)
+        self.bb_used.append(0)
+        self._bb_seq.append(0)
+        return box
+
+    def _grow_boxes(self, needed: int) -> None:
+        new_cap = max(self._box_cap * 2, 256)
+        while new_cap < needed:
+            new_cap *= 2
+        w = self._width
+
+        def _resize2(arr: np.ndarray, fill, dtype) -> np.ndarray:
+            out = np.full((new_cap, w), fill, dtype=dtype)
+            out[: arr.shape[0], :] = arr
+            return out
+
+        self.bb_voter = _resize2(self.bb_voter, -1, np.int32)
+        self.bb_last = _resize2(self.bb_last, 0.0, np.float64)
+        self.bb_order = _resize2(self.bb_order, 0, np.int64)
+        self.bb_nvotes = _resize2(self.bb_nvotes, 0, np.int32)
+        self._box_cap = new_cap
+
+    def _grow_width(self, needed: int) -> None:
+        new_w = max(self._width * 2, 4)
+        while new_w < needed:
+            new_w *= 2
+        pad = new_w - self._width
+
+        def _widen(arr: np.ndarray, fill, dtype) -> np.ndarray:
+            out = np.full((self._box_cap, new_w), fill, dtype=dtype)
+            out[:, : self._width] = arr
+            return out
+
+        self.bb_voter = _widen(self.bb_voter, -1, np.int32)
+        self.bb_last = _widen(self.bb_last, 0.0, np.float64)
+        self.bb_order = _widen(self.bb_order, 0, np.int64)
+        self.bb_nvotes = _widen(self.bb_nvotes, 0, np.int32)
+        for payload in self._payload:
+            payload.extend([None] * pad)
+        self._width = new_w
+
+    # ------------------------------------------------------------------
+    # Ballot-box operations (semantics of repro.core.ballotbox)
+    # ------------------------------------------------------------------
+    def bb_merge(
+        self,
+        owner_row: int,
+        b_max: int,
+        voter: str,
+        entries: Iterable[VoteEntry],
+        now: float,
+        voter_row: Optional[int] = None,
+    ) -> int:
+        """:meth:`BallotBox.merge` over the columns; returns entries
+        stored.  Recency is bumped only when something was stored.
+
+        This is the batched vote tick's innermost call (twice per
+        exchange), so the common shapes are specialised: sequence
+        inputs skip the defensive copy, entries carrying real
+        :class:`Vote` values skip the enum conversion, and a full box
+        evicts *before* inserting so the newcomer reuses the head
+        voter's slot in place — the same final state the insert-then-
+        evict order produces (``b_max >= 1`` keeps the newcomer off
+        the victim list), without the swap-remove column traffic.
+        Callers that already know the sender's row pass ``voter_row``
+        to skip the id lookup.
+        """
+        if type(entries) is not list and type(entries) is not tuple:
+            entries = list(entries)
+        if not entries:
+            return 0
+        box = self._box_of[owner_row]
+        if box < 0:
+            box = self._box_row(owner_row)
+        slots = self._slots[box]
+        vrow = self.rows.row(voter) if voter_row is None else voter_row
+        slot = slots.get(vrow)
+        payload = self._payload[box]
+        votes = payload[slot] if slot is not None else {}
+        stored = 0
+        for e in entries:
+            moderator = e.moderator_id
+            if moderator == voter:
+                # Self-votes carry no information (see BallotBox.merge).
+                continue
+            v = e.vote
+            votes[moderator] = (v if type(v) is Vote else Vote(v), now)
+            stored += 1
+        if stored == 0:
+            return 0
+        if slot is None:
+            nslots = len(slots)
+            if nslots >= b_max:
+                # Evict-then-insert: same victims as the reference
+                # insert-then-evict (heads of the recency order; the
+                # newcomer would sit at the tail), but the last victim's
+                # slot is reused in place.
+                while nslots > b_max:
+                    self._drop_slot(box, slots, owner_row, next(iter(slots)))
+                    nslots -= 1
+                slot = slots.pop(next(iter(slots)))
+                self.bb_voter[box, slot] = vrow
+                payload[slot] = votes
+            else:
+                slot = self.bb_used[box]
+                if slot >= self._width:
+                    self._grow_width(slot + 1)
+                self.bb_voter[box, slot] = vrow
+                self.bb_used[box] = slot + 1
+                self.bb_unique[owner_row] += 1
+                payload[slot] = votes
+            slots[vrow] = slot
+        else:
+            # Move-to-end: recency order is the dict's insertion order.
+            slots.pop(vrow)
+            slots[vrow] = slot
+        seq = self._bb_seq[box] + 1
+        self._bb_seq[box] = seq
+        self.bb_last[box, slot] = now
+        self.bb_order[box, slot] = seq
+        self.bb_nvotes[box, slot] = len(votes)
+        if len(slots) > b_max:
+            # Only reachable when b_max shrank between merges on an
+            # already-present voter (the insert path bounds itself).
+            self._evict(box, slots, owner_row, b_max)
+        return stored
+
+    def bb_restore_voter(
+        self,
+        owner_row: int,
+        b_max: int,
+        voter: str,
+        votes: Iterable[Tuple[str, Vote, float]],
+        last_received: float,
+    ) -> None:
+        """:meth:`BallotBox.restore_voter` over the columns."""
+        stored = {
+            moderator: (Vote(vote), received_at)
+            for moderator, vote, received_at in votes
+            if moderator != voter
+        }
+        if not stored:
+            return
+        box = self._box_row(owner_row)
+        slots = self._slots[box]
+        vrow = self.rows.row(voter)
+        slot = slots.get(vrow)
+        if slot is None:
+            slot = self._take_slot(box, owner_row, vrow, stored)
+        else:
+            self._payload[box][slot] = stored
+            slots.pop(vrow)
+        slots[vrow] = slot
+        self._stamp(box, slot, last_received, len(stored))
+        self._evict(box, slots, owner_row, b_max)
+
+    def bb_remove_voter(self, owner_row: int, voter: str) -> bool:
+        box = self._box_of[owner_row]
+        if box < 0:
+            return False
+        vrow = self.rows.get(voter)
+        if vrow is None or vrow not in self._slots[box]:
+            return False
+        self._drop_slot(box, self._slots[box], owner_row, vrow)
+        return True
+
+    def _take_slot(
+        self,
+        box: int,
+        owner_row: int,
+        vrow: int,
+        votes: Dict[str, Tuple[Vote, float]],
+    ) -> int:
+        slot = self.bb_used[box]
+        if slot >= self._width:
+            self._grow_width(slot + 1)
+        self.bb_voter[box, slot] = vrow
+        self.bb_used[box] = slot + 1
+        self.bb_unique[owner_row] += 1
+        self._payload[box][slot] = votes
+        return slot
+
+    def _stamp(self, box: int, slot: int, when: float, nvotes: int) -> None:
+        seq = self._bb_seq[box] + 1
+        self._bb_seq[box] = seq
+        self.bb_last[box, slot] = when
+        self.bb_order[box, slot] = seq
+        self.bb_nvotes[box, slot] = nvotes
+
+    def _evict(
+        self, box: int, slots: Dict[int, int], owner_row: int, b_max: int
+    ) -> None:
+        while len(slots) > b_max:
+            victim = next(iter(slots))
+            self._drop_slot(box, slots, owner_row, victim)
+
+    def _drop_slot(
+        self, box: int, slots: Dict[int, int], owner_row: int, vrow: int
+    ) -> None:
+        """Free a voter's slot, swap-filling from the box's last slot
+        (a value-only dict update, so the moved voter keeps its recency
+        position)."""
+        slot = slots.pop(vrow)
+        last = self.bb_used[box] - 1
+        payload = self._payload[box]
+        if slot != last:
+            moved = int(self.bb_voter[box, last])
+            self.bb_voter[box, slot] = moved
+            self.bb_last[box, slot] = self.bb_last[box, last]
+            self.bb_order[box, slot] = self.bb_order[box, last]
+            self.bb_nvotes[box, slot] = self.bb_nvotes[box, last]
+            payload[slot] = payload[last]
+            slots[moved] = slot
+        self.bb_voter[box, last] = -1
+        self.bb_nvotes[box, last] = 0
+        payload[last] = None
+        self.bb_used[box] = last
+        self.bb_unique[owner_row] -= 1
+
+    # ------------------------------------------------------------------
+    # Ballot-box reads
+    # ------------------------------------------------------------------
+    def bb_slots(self, owner_row: int) -> Dict[int, int]:
+        """The owner's ``voter row -> slot`` map (recency-ordered);
+        empty for a peer whose box was never merged into."""
+        box = self._box_of[owner_row]
+        return self._slots[box] if box >= 0 else {}
+
+    def bb_payload(
+        self, owner_row: int, voter: str
+    ) -> Optional[Dict[str, Tuple[Vote, float]]]:
+        box = self._box_of[owner_row]
+        if box < 0:
+            return None
+        vrow = self.rows.get(voter)
+        if vrow is None:
+            return None
+        slot = self._slots[box].get(vrow)
+        return None if slot is None else self._payload[box][slot]
+
+    def bb_payloads(self, owner_row: int) -> List[Dict[str, Tuple[Vote, float]]]:
+        """Every voter's payload dict, in recency order."""
+        box = self._box_of[owner_row]
+        if box < 0:
+            return []
+        payload = self._payload[box]
+        return [payload[slot] for slot in self._slots[box].values()]
+
+    def bb_last_received(self, owner_row: int, voter: str) -> float:
+        box = self._box_of[owner_row]
+        if box < 0:
+            return 0.0
+        vrow = self.rows.get(voter)
+        if vrow is None:
+            return 0.0
+        slot = self._slots[box].get(vrow)
+        return 0.0 if slot is None else float(self.bb_last[box, slot])
+
+    def bb_total_votes(self, owner_row: int) -> int:
+        box = self._box_of[owner_row]
+        if box < 0:
+            return 0
+        used = self.bb_used[box]
+        return int(self.bb_nvotes[box, :used].sum())
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Numpy column footprint (payload dicts and the per-box
+        Python bookkeeping lists excluded)."""
+        return sum(
+            arr.nbytes
+            for arr in (
+                self.bb_unique,
+                self.vl_size,
+                self.store_size,
+                self.exp_threshold,
+                self.bb_voter,
+                self.bb_last,
+                self.bb_order,
+                self.bb_nvotes,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnarStateStore(rows={len(self.rows)}, "
+            f"boxes={self._n_boxes}, width={self._width})"
+        )
+
+
+class ColumnarBallotBox(BallotBox):
+    """A :class:`BallotBox` whose state lives in a
+    :class:`ColumnarStateStore`.
+
+    Same public API and bit-identical semantics; the dict-backed
+    attributes of the parent are never created.  The view holds only
+    ``(store, owner_row, b_max)`` — equality of behaviour is enforced
+    by the property tests, and persistence works unchanged because
+    FORMAT_VERSION 2 reads and writes through the public API only.
+    """
+
+    def __init__(self, store: ColumnarStateStore, owner_row: int, b_max: int = 100):
+        if b_max < 1:
+            raise ValueError("b_max must be >= 1")
+        self.b_max = b_max
+        self._store = store
+        self._row = owner_row
+
+    # -- mutations ------------------------------------------------------
+    def merge(self, voter: str, entries: Iterable[VoteEntry], now: float) -> int:
+        return self._store.bb_merge(self._row, self.b_max, voter, entries, now)
+
+    def restore_voter(
+        self,
+        voter: str,
+        votes: Iterable[Tuple[str, Vote, float]],
+        last_received: float,
+    ) -> None:
+        self._store.bb_restore_voter(
+            self._row, self.b_max, voter, votes, last_received
+        )
+
+    def remove_voter(self, voter: str) -> bool:
+        return self._store.bb_remove_voter(self._row, voter)
+
+    # -- reads ----------------------------------------------------------
+    def num_unique_users(self) -> int:
+        return len(self._store.bb_slots(self._row))
+
+    def voters(self) -> List[str]:
+        ids = self._store.rows.ids
+        return sorted(ids[vrow] for vrow in self._store.bb_slots(self._row))
+
+    def voters_by_recency(self) -> List[str]:
+        ids = self._store.rows.ids
+        return [ids[vrow] for vrow in self._store.bb_slots(self._row)]
+
+    def votes_of(self, voter: str) -> List[Tuple[str, Vote, float]]:
+        payload = self._store.bb_payload(self._row, voter)
+        if payload is None:
+            return []
+        return [
+            (moderator, vote, received_at)
+            for moderator, (vote, received_at) in payload.items()
+        ]
+
+    def last_received_of(self, voter: str) -> float:
+        return self._store.bb_last_received(self._row, voter)
+
+    def moderators(self) -> List[str]:
+        out = set()
+        for votes in self._store.bb_payloads(self._row):
+            out.update(votes.keys())
+        return sorted(out)
+
+    def counts(self, moderator_id: str) -> Tuple[int, int]:
+        pos = neg = 0
+        for votes in self._store.bb_payloads(self._row):
+            entry = votes.get(moderator_id)
+            if entry is None:
+                continue
+            if entry[0] is Vote.POSITIVE:
+                pos += 1
+            else:
+                neg += 1
+        return pos, neg
+
+    def all_counts(self) -> Dict[str, Tuple[int, int]]:
+        totals: Dict[str, Tuple[int, int]] = {}
+        for votes in self._store.bb_payloads(self._row):
+            for moderator_id, (vote, _at) in votes.items():
+                pos, neg = totals.get(moderator_id, (0, 0))
+                if vote is Vote.POSITIVE:
+                    totals[moderator_id] = (pos + 1, neg)
+                else:
+                    totals[moderator_id] = (pos, neg + 1)
+        return totals
+
+    def total_votes(self) -> int:
+        return self._store.bb_total_votes(self._row)
+
+    def vote_of(self, voter: str, moderator_id: str):
+        payload = self._store.bb_payload(self._row, voter)
+        entry = payload.get(moderator_id) if payload else None
+        return entry[0] if entry else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnarBallotBox(voters={self.num_unique_users()}/"
+            f"{self.b_max}, votes={self.total_votes()})"
+        )

@@ -22,6 +22,7 @@ from repro.sim.units import MB
 if TYPE_CHECKING:  # pragma: no cover
     from repro.bartercast.protocol import BarterCastService
     from repro.core.ballotbox import BallotBox
+    from repro.core.columnar import ColumnarStateStore
 
 
 class ExperienceFunction(ABC):
@@ -69,12 +70,19 @@ class ThresholdExperience(ExperienceFunction):
     def is_experienced(self, observer: str, subject: str) -> bool:
         if observer == subject:
             return False
+        if self.threshold <= 0.0:
+            # Flows are non-negative, so T <= 0 accepts everyone —
+            # skip the contribution evaluation entirely (the same
+            # fast path the adaptive controller takes at T = 0).
+            return True
         return self.bartercast.contribution(observer, subject) >= self.threshold
 
     def experienced_many(
         self, observer: str, subjects: Sequence[str]
     ) -> Dict[str, bool]:
         subjects = list(subjects)
+        if self.threshold <= 0.0:
+            return {s: s != observer for s in subjects}
         if len(subjects) == 1:
             # A batch of one is cheaper (and bit-identical) through the
             # scalar version-keyed cache than through densifying the
@@ -123,6 +131,16 @@ class AdaptiveThresholdExperience(ExperienceFunction):
         self.step = step
         self.t_max = t_max
         self._thresholds: Dict[str, float] = {}
+        self._store: "ColumnarStateStore | None" = None
+
+    def bind_store(self, store: "ColumnarStateStore") -> None:
+        """Mirror per-node thresholds into the store's
+        ``exp_threshold`` column.  The dict stays authoritative for
+        scalar reads; the column lets batched paths gate a whole due
+        batch with one slice compare (``exp_threshold[rows] <= 0``)."""
+        self._store = store
+        for observer, t in self._thresholds.items():
+            store.exp_threshold[store.ensure_row(observer)] = t
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -151,6 +169,8 @@ class AdaptiveThresholdExperience(ExperienceFunction):
         else:
             t = max(t - self.step, 0.0)
         self._thresholds[observer] = t
+        if self._store is not None:
+            self._store.exp_threshold[self._store.ensure_row(observer)] = t
         return t
 
     def is_experienced(self, observer: str, subject: str) -> bool:

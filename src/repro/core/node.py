@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.ballotbox import BallotBox
+from repro.core.columnar import ColumnarBallotBox, ColumnarStateStore
 from repro.core.moderation import Moderation, ModerationStore
 from repro.core.moderationcast import extract_moderations
 from repro.core.ranking import Ranking, rank_by_sum, top_k
@@ -58,13 +59,26 @@ class VoteSamplingNode:
         peer_id: str,
         config: Optional[NodeConfig] = None,
         rng: Optional[np.random.Generator] = None,
+        col_store: Optional[ColumnarStateStore] = None,
     ):
         self.peer_id = peer_id
         self.config = config or NodeConfig()
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.store = ModerationStore(self.config.moderation_store_capacity)
         self.vote_list = LocalVoteList()
-        self.ballot_box = BallotBox(self.config.b_max)
+        #: columnar backing (``None`` = classic per-node dict state).
+        #: With a store, the ballot box is a thin view over the shared
+        #: columns and the vl_size/store_size membership columns track
+        #: this node's vote list and moderation store.
+        self.col_store = col_store
+        if col_store is not None:
+            self.row = col_store.ensure_row(peer_id)
+            self.ballot_box: BallotBox = ColumnarBallotBox(
+                col_store, self.row, self.config.b_max
+            )
+        else:
+            self.row = -1
+            self.ballot_box = BallotBox(self.config.b_max)
         self.topk_cache = TopKCache(self.config.v_max, self.config.k)
         #: votes the user will cast when the moderator's metadata arrives
         self.vote_intentions: Dict[str, Vote] = {}
@@ -76,6 +90,16 @@ class VoteSamplingNode:
         self.votes_truncated = 0
         self.vp_requests_answered = 0
         self.vp_requests_declined = 0
+
+    def _sync_membership(self) -> None:
+        """Refresh this node's vl_size/store_size columns.  Called at
+        the end of every node method that mutates the vote list or the
+        moderation store — the contract that lets batched paths trust
+        the membership columns without touching the objects."""
+        store = self.col_store
+        if store is not None:
+            store.vl_size[self.row] = len(self.vote_list)
+            store.store_size[self.row] = len(self.store)
 
     # ------------------------------------------------------------------
     # User actions
@@ -92,6 +116,7 @@ class VoteSamplingNode:
             created_at=now,
         )
         self.store.insert(mod, now)
+        self._sync_membership()
         return mod
 
     def cast_vote(self, moderator_id: str, vote: Vote, now: float) -> None:
@@ -105,6 +130,7 @@ class VoteSamplingNode:
         self.vote_list.cast(moderator_id, vote, now)
         if Vote(vote) is Vote.NEGATIVE:
             self.store.purge_moderator(moderator_id)
+        self._sync_membership()
 
     def set_vote_intention(self, moderator_id: str, vote: Vote) -> None:
         """Declare how the user will vote once they actually *see*
@@ -150,6 +176,7 @@ class VoteSamplingNode:
                 self.moderations_received += 1
                 self._maybe_apply_intention(mod.moderator_id, now)
         self.store.enforce_capacity(self.vote_list.approved())
+        self._sync_membership()
         return new_count
 
     def _maybe_apply_intention(self, moderator_id: str, now: float) -> None:

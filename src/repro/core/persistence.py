@@ -35,6 +35,7 @@ from typing import Any, Dict, Union
 
 import numpy as np
 
+from repro.core.columnar import ColumnarStateStore
 from repro.core.moderation import Moderation
 from repro.core.node import NodeConfig, VoteSamplingNode
 from repro.core.votes import Vote, VoteEntry
@@ -102,22 +103,34 @@ def node_to_dict(node: VoteSamplingNode) -> Dict[str, Any]:
 
 
 def node_from_dict(
-    data: Dict[str, Any], rng: Union[np.random.Generator, None] = None
+    data: Dict[str, Any],
+    rng: Union[np.random.Generator, None] = None,
+    col_store: Union[ColumnarStateStore, None] = None,
 ) -> VoteSamplingNode:
     """Reconstruct a node from :func:`node_to_dict` output.
 
     Reads the current v2 format and legacy v1; a v1 restore loses
-    ballot-box recency (see the module docstring's format history)."""
+    ballot-box recency (see the module docstring's format history).
+    Pass ``col_store`` to restore into a column-backed node — the
+    save format is backing-agnostic (everything goes through the
+    public BallotBox API), so dict-state saves restore into columnar
+    boxes and vice versa, bit-identically."""
     fmt = data.get("format")
     if fmt not in _SUPPORTED_FORMATS:
         raise ValueError(f"unsupported node-state format {fmt!r}")
     config = NodeConfig(**data["config"])
     node = VoteSamplingNode(
-        data["peer_id"], config, rng if rng is not None else np.random.default_rng(0)
+        data["peer_id"],
+        config,
+        rng if rng is not None else np.random.default_rng(0),
+        col_store=col_store,
     )
     for rec in data["moderations"]:
-        received_at = rec.pop("received_at", 0.0)
-        node.store.insert(Moderation(**rec), received_at or 0.0)
+        # A plain pop would mutate the caller's dict and strip the
+        # timestamp from any later restore of the same payload.
+        received_at = rec.get("received_at", 0.0)
+        fields = {k: v for k, v in rec.items() if k != "received_at"}
+        node.store.insert(Moderation(**fields), received_at or 0.0)
     for rec in data["votes"]:
         node.vote_list.cast(rec["moderator"], Vote(rec["vote"]), rec["cast_at"])
     if fmt >= 2:
@@ -148,6 +161,9 @@ def node_from_dict(
         node.topk_cache.add(lst)
     for moderator, vote in data["intentions"].items():
         node.set_vote_intention(moderator, Vote(vote))
+    # The restore loops above write the vote list and moderation store
+    # directly; refresh the membership columns once at the end.
+    node._sync_membership()
     return node
 
 

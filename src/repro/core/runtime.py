@@ -21,10 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from repro.bartercast.protocol import BarterCastConfig, BarterCastService
 from repro.bittorrent.session import BitTorrentSession
+from repro.core.columnar import ColumnarStateStore
 from repro.core.experience import (
     AdaptiveThresholdExperience,
+    AlwaysExperienced,
     ExperienceFunction,
     ThresholdExperience,
 )
@@ -95,6 +99,15 @@ class RuntimeConfig:
     #: Trace population size at which ``"auto"`` switches to the
     #: structure-of-arrays engine.
     population_engine_threshold: int = 10_000
+    #: Columnar protocol state: ``"on"`` = node ballot boxes, adaptive
+    #: thresholds and store membership live in a shared
+    #: :class:`~repro.core.columnar.ColumnarStateStore` (numpy columns
+    #: keyed by the population engine's rows), enabling the batched
+    #: vote-tick path under the SoA scheduler; ``"off"`` = classic
+    #: per-node dict state; ``"auto"`` = follow the resolved tick
+    #: scheduler (columns exactly when the SoA engine runs).  Results
+    #: are bit-identical either way.
+    columnar_state: str = "auto"
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.message_loss < 1.0):
@@ -132,6 +145,8 @@ class RuntimeConfig:
             raise ValueError("population_engine must be object, soa or auto")
         if self.population_engine_threshold < 0:
             raise ValueError("population_engine_threshold must be >= 0")
+        if self.columnar_state not in ("on", "off", "auto"):
+            raise ValueError("columnar_state must be on, off or auto")
 
 
 NodeFactory = Callable[[str], VoteSamplingNode]
@@ -201,6 +216,16 @@ class ProtocolRuntime:
         #: resolved tick scheduler ("object" or "soa")
         self.population_engine: str = mode
         self._population: Optional[PopulationEngine] = None
+        col_mode = self.config.columnar_state
+        col_on = mode == "soa" if col_mode == "auto" else col_mode == "on"
+        #: resolved columnar protocol state ("on" or "off")
+        self.columnar_state: str = "on" if col_on else "off"
+        self._col_store: Optional[ColumnarStateStore] = (
+            ColumnarStateStore() if col_on else None
+        )
+        #: the batched vote tick inlines VoteSamplingNode handlers, so
+        #: custom node classes (attack models, factories) disable it
+        self._batch_safe = node_factory is None
         self.dropped_exchanges = 0
         # Hoisted from _partner_for: the registry memoises streams by
         # name, so caching the generator object draws the identical
@@ -225,7 +250,10 @@ class ProtocolRuntime:
                 node = self._node_factory(peer_id)
             else:
                 node = VoteSamplingNode(
-                    peer_id, self.config.node, self._rng.stream("node", peer_id)
+                    peer_id,
+                    self.config.node,
+                    self._rng.stream("node", peer_id),
+                    col_store=self._col_store,
                 )
             self.nodes[peer_id] = node
         return node
@@ -235,6 +263,9 @@ class ProtocolRuntime:
         if node.peer_id in self.nodes:
             raise ValueError(f"node {node.peer_id!r} already registered")
         self.nodes[node.peer_id] = node
+        # A registered node may override any handler; the batched vote
+        # tick would bypass those overrides, so fall back to scalar.
+        self._batch_safe = False
 
     def bring_online(self, peer_id: str, now: float) -> None:
         """Manually bring a peer online (for peers outside the trace,
@@ -313,9 +344,28 @@ class ProtocolRuntime:
         """The canonical per-peer protocol loops, in the object
         engine's registration order (``_processes_for``)."""
         cfg = self.config
+        vote_spec: ProtocolSpec = ("vote", cfg.vote_interval, self._vote_tick)
+        if (
+            self._col_store is not None
+            and cfg.vote_fanout == 1
+            and type(self.pss) is OraclePSS
+            and "_vote_tick" not in self.__dict__
+        ):
+            # Batched vote dispatch needs the columnar state store
+            # (inline merges write the columns), the paper's fanout of
+            # 1 (one PSS draw per tick, vectorised by sample_batch)
+            # and the oracle PSS (its sampling never reads state the
+            # in-batch exchanges could mutate).  An instance-level
+            # ``_vote_tick`` override (instrumentation wrappers) also
+            # opts out — inlining would bypass it.  ``_batch_safe``
+            # handles the remaining dynamic conditions at call time.
+            vote_spec = (
+                "vote", cfg.vote_interval, self._vote_tick,
+                self._vote_tick_batch,
+            )
         specs: List[ProtocolSpec] = [
             ("moderation", cfg.moderation_interval, self._moderation_tick),
-            ("vote", cfg.vote_interval, self._vote_tick),
+            vote_spec,
             ("bartercast", cfg.bartercast_interval, self._bartercast_tick),
         ]
         if self.newscast is not None:
@@ -334,11 +384,19 @@ class ProtocolRuntime:
         either way)."""
         population = self._population
         if population is None:
+            col_store = self._col_store
+            if col_store is not None and isinstance(
+                self.experience, AdaptiveThresholdExperience
+            ):
+                # Mirror per-node thresholds into the exp_threshold
+                # column so the batched vote tick can gate fast.
+                self.experience.bind_store(col_store)
             population = PopulationEngine(
                 self.engine,
                 self._rng,
                 self._protocol_specs(),
                 jitter_fraction=self.config.jitter_fraction,
+                rows=col_store.rows if col_store is not None else None,
             )
             self.engine.attach_source(population)
             self._population = population
@@ -372,8 +430,10 @@ class ProtocolRuntime:
         Under the object engine every tick is its own heap event, so
         batches degenerate to size 1."""
         if self._population is not None:
-            return self._population.telemetry()
-        names = [name for name, _interval, _action in self._protocol_specs()]
+            out = self._population.telemetry()
+            out["columnar_state"] = self.columnar_state
+            return out
+        names = [spec[0] for spec in self._protocol_specs()]
         ticks_by_protocol: Dict[str, int] = {}
         ticks = 0
         for procs in self._processes.values():
@@ -383,6 +443,7 @@ class ProtocolRuntime:
         peers_online = sum(1 for node in self.nodes.values() if node.online)
         return {
             "engine": self.population_engine,
+            "columnar_state": self.columnar_state,
             "peers_total": len(self.nodes),
             "peers_online": peers_online,
             "ticks": ticks,
@@ -499,6 +560,222 @@ class ProtocolRuntime:
                 response = partner.respond_top_k()
                 node.receive_top_k(response)
                 self.traffic.voxpopuli_exchange(len(response) if response else 0)
+
+    def _vote_tick_batch(
+        self, times: List[float], pids: List[str], rows: List[int]
+    ) -> None:
+        """One vote tick per due entry, over the state columns.
+
+        Registered as the SoA engine's batch handler for the vote
+        protocol.  Bit-identical to running :meth:`_vote_tick` per
+        entry because every random draw and order-sensitive call is
+        replayed in the scalar order: PSS draws per entry (vectorised
+        by ``sample_batch`` with scalar replay on collision), loss
+        draws only for connectable candidates, partner nodes created
+        in entry order, the forward experience verdict before vote
+        selection and the reverse verdict after this node's merge
+        (BarterCast's contribution caches see the same call sequence),
+        and merges through the same columnar operations the object API
+        uses.
+
+        The columns carry the batch: one gather per direction over
+        ``vl_size`` and ``bb_unique`` proves most entries side-effect
+        free — no votes on either side, no VoxPopuli bootstrap, and an
+        all-accepting experience gate — so the Python loop only visits
+        the entries that do real work.  The skip is sound because vote
+        lists cannot change mid-batch, box occupancy only grows while
+        votes merge (an entry starting at or above ``B_min`` can never
+        re-enter bootstrap), and an accepted empty exchange touches
+        nothing but the aggregate counters.  Those aggregates are
+        exact wholesale: every selection policy returns
+        ``min(vl_size, cap)`` entries, so per-exchange traffic folds
+        into two integer adds per protocol, and byte totals are
+        derived from the integer counters.
+        """
+        engine = self.engine
+        if not self._batch_safe:
+            # Custom node classes in play (factory or register_node):
+            # their handler overrides must run, so tick scalar.
+            vote_tick = self._vote_tick
+            for t, pid in zip(times, pids):
+                engine._now = t
+                vote_tick(pid)
+            return
+        nodes = self.nodes
+        m = len(pids)
+        own: List[VoteSamplingNode] = []
+        for pid in pids:
+            node = nodes[pid]
+            if not node.online:
+                # Runtime/engine online flags out of sync (manual
+                # flips): the scalar tick skips such peers *before*
+                # sampling, so replay the whole run scalar.
+                vote_tick = self._vote_tick
+                for t, pid2 in zip(times, pids):
+                    engine._now = t
+                    vote_tick(pid2)
+                return
+            own.append(node)
+        partner_ids = self.pss.sample_batch(pids)
+        is_online = self.registry.is_online
+        loss = self.config.message_loss
+        loss_rng = self._message_loss_rng
+        ensure_node = self.ensure_node
+        partners: List[Optional[VoteSamplingNode]] = [None] * m
+        for k in range(m):
+            partner = partner_ids[k]
+            if partner is None or partner == pids[k]:
+                continue
+            if not is_online(partner):
+                continue
+            if loss > 0.0 and loss_rng.random() < loss:
+                self.dropped_exchanges += 1
+                continue
+            partners[k] = ensure_node(partner)
+        store = self._col_store
+        assert store is not None  # batch registration requires columns
+        exp = self.experience
+        exp_type = type(exp)
+        # Experience gating: the all-accepting cases resolve once for
+        # the whole batch, adaptive thresholds gate via one column
+        # gather per direction, and anything else falls back to the
+        # scalar evaluation in the scalar call order.
+        fast_all = exp_type is AlwaysExperienced or (
+            exp_type is ThresholdExperience and exp.threshold <= 0.0
+        )
+        rows_arr = np.fromiter(rows, np.int64, m)
+        prow_list = [0 if p is None else p.row for p in partners]
+        prows_arr = np.fromiter(prow_list, np.int64, m)
+        valid = np.fromiter((p is not None for p in partners), np.bool_, m)
+        n_ex = int(np.count_nonzero(valid))
+        if n_ex == 0:
+            return
+        cfg = self.config.node
+        cap = cfg.votes_per_exchange
+        policy = cfg.exchange_policy
+        b_max = cfg.b_max
+        b_min = cfg.b_min
+        vox = cfg.voxpopuli_enabled
+        # Vote-list sizes cannot change mid-batch (casting happens off
+        # the vote tick), so one gather per direction stands in for the
+        # per-entry reads, and — because every selection policy returns
+        # exactly ``min(vl_size, cap)`` entries — the exchange item
+        # total folds into one vectorised sum.
+        vl_col = store.vl_size
+        vl_own_arr = vl_col[rows_arr]
+        vl_par_arr = vl_col[prows_arr]
+        n_items = int(
+            (np.minimum(vl_own_arr, cap) + np.minimum(vl_par_arr, cap))[
+                valid
+            ].sum()
+        )
+        # An entry must run scalar when any per-entry side effect is
+        # possible: votes to merge in either direction, a VoxPopuli
+        # bootstrap candidate (occupancy below B_min *before* the
+        # batch — occupancy only grows as votes merge, so entries at
+        # or above B_min can never re-enter bootstrap mid-batch), or
+        # an experience gate that isn't a column fast path (rejection
+        # counters fire even on empty exchanges).
+        active = (vl_own_arr > 0) | (vl_par_arr > 0)
+        bb_unique = store.bb_unique
+        pre_vox = None
+        if vox and b_min > 0:
+            pre_vox_arr = bb_unique[rows_arr] < b_min
+            active |= pre_vox_arr
+            pre_vox = pre_vox_arr.tolist()
+        fwd_fast = rev_fast = None
+        if not fast_all:
+            if (
+                exp_type is AdaptiveThresholdExperience
+                and exp._store is store
+            ):
+                thr = store.exp_threshold
+                fwd_ok = thr[rows_arr] <= 0.0
+                rev_ok = thr[prows_arr] <= 0.0
+                active |= ~(fwd_ok & rev_ok)
+                fwd_fast = fwd_ok.tolist()
+                rev_fast = rev_ok.tolist()
+            else:
+                active[:] = True
+        active &= valid
+        vl_own = vl_own_arr.tolist()
+        vl_par = vl_par_arr.tolist()
+        bb_merge = store.bb_merge
+        vp_ex = 0
+        vp_entries = 0
+        for k in np.nonzero(active)[0].tolist():
+            now = times[k]
+            engine._now = now
+            partner = partners[k]
+            node = own[k]
+            pid = pids[k]
+            partner_id = partner.peer_id
+            row = rows[k]
+            prow = prow_list[k]
+            # Forward verdict (observer = this node), before selection.
+            if fast_all or (fwd_fast is not None and fwd_fast[k]):
+                fwd = True
+            else:
+                fwd = exp.experienced_many(pid, [partner_id])[partner_id]
+            # node.votes_to_send() minus the wrapper: config fields are
+            # hoisted, selection memoises below the cap.
+            if vl_own[k]:
+                votes_out = node.vote_list.select_for_exchange(
+                    cap, node.rng, policy
+                )
+            else:
+                votes_out = ()
+            if vl_par[k]:
+                votes_in = partner.vote_list.select_for_exchange(
+                    cap, partner.rng, policy
+                )
+            else:
+                votes_in = ()
+            # node.receive_votes(partner_id, votes_in, now, fwd) inline
+            if fwd:
+                if votes_in:
+                    lv = len(votes_in)
+                    if lv > cap:
+                        node.votes_truncated += lv - cap
+                        votes_in_capped = votes_in[:cap]
+                    else:
+                        votes_in_capped = votes_in
+                    node.votes_merged += bb_merge(
+                        row, b_max, partner_id, votes_in_capped, now, prow
+                    )
+            else:
+                node.votes_rejected_inexperienced += 1
+            # Reverse verdict (observer = partner), after our merge —
+            # the contribution caches must see the scalar call order.
+            if fast_all or (rev_fast is not None and rev_fast[k]):
+                rev = True
+            else:
+                rev = exp.experienced_many(partner_id, [pid])[pid]
+            if rev:
+                if votes_out:
+                    lv = len(votes_out)
+                    if lv > cap:
+                        partner.votes_truncated += lv - cap
+                        votes_out_capped = votes_out[:cap]
+                    else:
+                        votes_out_capped = votes_out
+                    partner.votes_merged += bb_merge(
+                        prow, b_max, pid, votes_out_capped, now, row
+                    )
+            else:
+                partner.votes_rejected_inexperienced += 1
+            # VoxPopuli (Fig 3 a+c): pre-gated on the occupancy column,
+            # re-checked live — earlier merges this batch may have
+            # lifted this node past B_min.
+            if pre_vox is not None and pre_vox[k] and bb_unique[row] < b_min:
+                response = partner.respond_top_k()
+                if response:
+                    node.topk_cache.add(response)
+                    vp_entries += len(response)
+                vp_ex += 1
+        self.traffic.vote_exchange_many(n_ex, n_items)
+        if vp_ex:
+            self.traffic.voxpopuli_exchange_many(vp_ex, vp_entries)
 
     def _bartercast_tick(self, peer_id: str) -> None:
         node = self.nodes[peer_id]

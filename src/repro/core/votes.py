@@ -43,11 +43,16 @@ class LocalVoteList:
 
     def __init__(self) -> None:
         self._votes: Dict[str, VoteEntry] = {}
+        #: bumped on every cast; keys the under-cap selection cache
+        self._version = 0
+        self._sel_version = -1
+        self._sel_cache: List[VoteEntry] = []
 
     def cast(self, moderator_id: str, vote: Vote, now: float) -> VoteEntry:
         """Record the local user's vote on a moderator."""
         entry = VoteEntry(moderator_id, Vote(vote), now)
         self._votes[moderator_id] = entry
+        self._version += 1
         return entry
 
     def vote_on(self, moderator_id: str) -> Optional[Vote]:
@@ -93,12 +98,25 @@ class LocalVoteList:
         * ``"random"`` — uniform over all votes.
 
         When the list fits the budget everything is sent.
+
+        The under-cap result is memoised against a cast-version
+        counter: no RNG is consumed below the cap, so returning the
+        cached sorted list between casts is bit-identical, and the
+        vote tick — which calls this twice per exchange, usually far
+        below the cap — skips the per-call sort.  Callers must treat
+        the returned list as read-only (receivers copy before
+        truncating).
         """
         if max_votes < 1:
             return []
-        entries = self.entries()
-        if len(entries) <= max_votes:
+        if len(self._votes) <= max_votes:
+            if self._sel_version == self._version:
+                return self._sel_cache
+            entries = self.entries()
+            self._sel_cache = entries
+            self._sel_version = self._version
             return entries
+        entries = self.entries()
         if policy == "recency":
             return entries[:max_votes]
         if policy == "random":

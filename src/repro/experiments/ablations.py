@@ -11,6 +11,8 @@ ablations here regenerate the evidence:
 * **A3 — PSS implementation** (§III): oracle sampling vs the Newscast
   gossip PSS under the Fig 6 workload.
 * **A4 — parameter sweeps** (§V-C): ``B_min``, ``K``, ``V_max``.
+* **A9 — vote fan-out** (§V-A): partners per vote tick — convergence
+  vs ballot traffic under the Fig 6 workload.
 """
 
 from __future__ import annotations
@@ -147,6 +149,49 @@ def ablation_pss(
             (label, VoteSamplingExperiment(cfg), f"ablation-a3-{label}")
         )
     return _run_labelled(specs, jobs=jobs)
+
+
+# ----------------------------------------------------------------------
+# A9 — vote-exchange fan-out
+# ----------------------------------------------------------------------
+def ablation_vote_fanout(
+    base: Optional[VoteSamplingConfig] = None,
+    fanouts: Sequence[int] = (1, 2, 4),
+    jobs: Optional[int] = None,
+) -> Dict[str, ExperimentResult]:
+    """A9: partners contacted per vote tick (§V-A runs one exchange
+    per interval).
+
+    Fan-out ``f`` multiplies per-round ballot traffic roughly ``f``×
+    while the convergence gain diminishes — epidemic dissemination is
+    already exponential at ``f = 1`` — so the sweep shows what the
+    paper's single-partner loop trades away.  Each result's metadata
+    gains ``ballotbox_bytes`` (total vote-exchange traffic) so
+    convergence can be read against its cost.
+    """
+    base = base or VoteSamplingConfig()
+    specs = []
+    for fanout in fanouts:
+        runtime = RuntimeConfig(
+            node=base.node,
+            experience_threshold=base.experience_threshold,
+            vote_fanout=fanout,
+        )
+        cfg = replace(base, runtime=runtime)
+        specs.append(
+            (
+                f"fanout={fanout}",
+                VoteSamplingExperiment(cfg),
+                f"ablation-a9-fanout{fanout}",
+            )
+        )
+    out = _run_labelled(specs, jobs=jobs)
+    for result in out.values():
+        traffic = result.metadata["run_summary"]["traffic"]
+        result.metadata["ballotbox_bytes"] = traffic.get("ballotbox", {}).get(
+            "bytes", 0.0
+        )
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -33,16 +33,33 @@ EXCHANGE_OVERHEAD_BYTES = 80.0
 
 @dataclass
 class ProtocolCounter:
-    """Counts for one protocol."""
+    """Counts for one protocol.
+
+    Only integers accumulate (exchanges and items); :attr:`bytes` is
+    derived at read time.  The wire model's per-item sizes are
+    integral, so the derived value equals the old running float sum
+    exactly while letting batched paths fold thousands of exchanges
+    into two integer adds.
+    """
 
     exchanges: int = 0
     items: int = 0
-    bytes: float = 0.0
+    item_bytes: float = 0.0
 
     def record(self, items: int, item_bytes: float) -> None:
+        self.item_bytes = item_bytes
         self.exchanges += 1
         self.items += items
-        self.bytes += EXCHANGE_OVERHEAD_BYTES + items * item_bytes
+
+    def record_many(self, exchanges: int, items: int, item_bytes: float) -> None:
+        """Fold a whole batch of exchanges in at once."""
+        self.item_bytes = item_bytes
+        self.exchanges += exchanges
+        self.items += items
+
+    @property
+    def bytes(self) -> float:
+        return self.exchanges * EXCHANGE_OVERHEAD_BYTES + self.items * self.item_bytes
 
 
 @dataclass
@@ -65,8 +82,15 @@ class TrafficMeter:
     def vote_exchange(self, n_sent: int, n_received: int) -> None:
         self._get("ballotbox").record(n_sent + n_received, VOTE_BYTES)
 
+    def vote_exchange_many(self, exchanges: int, items: int) -> None:
+        """A batch of vote exchanges (the SoA columnar tick path)."""
+        self._get("ballotbox").record_many(exchanges, items, VOTE_BYTES)
+
     def voxpopuli_exchange(self, k: int) -> None:
         self._get("voxpopuli").record(k, TOPK_ENTRY_BYTES)
+
+    def voxpopuli_exchange_many(self, exchanges: int, entries: int) -> None:
+        self._get("voxpopuli").record_many(exchanges, entries, TOPK_ENTRY_BYTES)
 
     def bartercast_exchange(self, n_records: int) -> None:
         self._get("bartercast").record(n_records, RECORD_BYTES)

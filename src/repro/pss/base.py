@@ -97,3 +97,14 @@ class PeerSamplingService(ABC):
                 seen.add(peer)
                 out.append(peer)
         return out
+
+    def sample_batch(self, requesters: List[str]) -> List[Optional[str]]:
+        """One :meth:`sample` result per requester, in order.
+
+        Must consume the service's RNG exactly as the equivalent
+        sequence of scalar :meth:`sample` calls would — batched tick
+        dispatch relies on this to stay bit-identical to the scalar
+        loop.  The default is that scalar loop; subclasses may
+        vectorise (see :class:`~repro.pss.ideal.OraclePSS`).
+        """
+        return [self.sample(r) for r in requesters]

@@ -33,6 +33,37 @@ class OraclePSS(PeerSamplingService):
                 return peer
         return None
 
+    def sample_batch(self, requesters: List[str]) -> List[Optional[str]]:
+        """Vectorised :meth:`sample` for a whole due batch.
+
+        The common case — every optimistic draw misses its requester —
+        costs one ``integers(0, n, size=m)`` call, which produces
+        exactly the integers ``m`` scalar ``integers(0, n)`` calls
+        would.  On any collision (a draw hitting its own requester,
+        where the scalar path would re-draw) the generator state is
+        restored from a snapshot and the batch replays through the
+        scalar rejection loop, so the draw sequence is bit-identical
+        either way.  ``n == 1`` also takes the scalar path: it is the
+        one case where :meth:`sample` may return without drawing.
+        """
+        m = len(requesters)
+        registry = self._registry
+        n = registry.online_count()
+        if n == 0:
+            return [None] * m
+        if n == 1 or m < 2:
+            return [self.sample(r) for r in requesters]
+        rng = self._rng
+        state = rng.bit_generator.state
+        draws = rng.integers(0, n, size=m)
+        peer_at = registry.peer_at
+        out: List[str] = [peer_at(i) for i in draws.tolist()]
+        for picked, requester in zip(out, requesters):
+            if picked == requester:
+                rng.bit_generator.state = state
+                return [self.sample(r) for r in requesters]
+        return out
+
     def sample_many(self, requester: str, k: int) -> List[str]:
         online = [p for p in self._registry.online_peers() if p != requester]
         if not online:

@@ -47,18 +47,39 @@ engine's, because each ingredient is replicated exactly:
   revalidation, and an action that schedules a heap event truncates
   the batch so the engine can re-merge.
 
+A protocol may additionally register a **batch handler** (a fourth
+``ProtocolSpec`` element): a maximal same-protocol run of due entries
+is then handed over in one call instead of one action call per tick.
+The handler owns the per-entry clock (``engine._now``) but must not
+schedule events, claim sequence numbers or flip peers on/offline —
+the dispatcher verifies this after every handler call — so the
+reschedule draws and sequence claims the dispatcher performs afterwards
+land in the same stream positions the scalar loop would have used.
+
 The gates in ``scripts/bench_population.py`` (run by ``make
 bench-smoke``) enforce the contract end-to-end.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.columnar import RowTable
 
 _INF = float("inf")
 #: Block width of the per-protocol minimum index (power of two).
@@ -69,8 +90,17 @@ _BLOCK = 1 << _BLOCK_SHIFT
 _JITTER_CHUNK = 16
 _EMPTY_SET: frozenset = frozenset()
 
-#: One protocol loop: ``(name, interval_seconds, action(peer_id))``.
-ProtocolSpec = Tuple[str, float, Callable[[str], None]]
+#: Batched protocol handler: ``batch_action(times, peer_ids, rows)``
+#: for one ordered same-protocol run of due ticks.  Contract: set
+#: ``engine._now`` per entry, and never schedule events, claim
+#: sequence numbers or flip peers on/offline (verified at dispatch).
+BatchAction = Callable[[List[float], List[str], List[int]], None]
+#: One protocol loop: ``(name, interval_seconds, action(peer_id))``,
+#: optionally extended with a batch handler as a fourth element.
+ProtocolSpec = Union[
+    Tuple[str, float, Callable[[str], None]],
+    Tuple[str, float, Callable[[str], None], BatchAction],
+]
 
 
 class PopulationEngine:
@@ -89,6 +119,7 @@ class PopulationEngine:
         rng: RngRegistry,
         protocols: Sequence[ProtocolSpec],
         jitter_fraction: float = 0.0,
+        rows: Optional["RowTable"] = None,
     ):
         if not protocols:
             raise ValueError("need at least one protocol loop")
@@ -96,9 +127,13 @@ class PopulationEngine:
             raise ValueError("jitter_fraction must be in [0, 1)")
         self._engine = engine
         self._registry = rng
-        self._names = [name for name, _ival, _act in protocols]
-        self._intervals = [float(ival) for _name, ival, _act in protocols]
-        self._actions = [act for _name, _ival, act in protocols]
+        self._names = [spec[0] for spec in protocols]
+        self._intervals = [float(spec[1]) for spec in protocols]
+        self._actions = [spec[2] for spec in protocols]
+        self._batch_actions: List[Optional[BatchAction]] = [
+            spec[3] if len(spec) > 3 else None for spec in protocols
+        ]
+        self._any_batch = any(a is not None for a in self._batch_actions)
         if min(self._intervals) <= 0:
             raise ValueError("intervals must be positive")
         self._jf = float(jitter_fraction)
@@ -125,8 +160,16 @@ class PopulationEngine:
 
         n_protocols = len(protocols)
         self._capacity = 0
-        self._ids: List[str] = []
-        self._index: Dict[str, int] = {}
+        if rows is not None:
+            # Shared row table (the columnar state store keys its
+            # columns by the same rows).  The lists are aliased, not
+            # copied: other components may append rows, which
+            # ``_sync_rows`` adopts lazily.
+            self._ids = rows.ids
+            self._index = rows.index
+        else:
+            self._ids = []
+            self._index = {}
         #: Python list, not numpy: the hot loop reads one flag per tick
         #: and scalar list reads are several times cheaper.
         self._online: List[bool] = []
@@ -192,7 +235,23 @@ class PopulationEngine:
             self._bmin[p] = bmin
         self._capacity = new_cap
 
+    def _sync_rows(self) -> None:
+        """Adopt rows appended to a shared row table by other
+        components (the columnar state store assigns rows to peers the
+        scheduler has not seen yet): pad the per-peer lists and grow
+        the columns to cover every assigned row."""
+        n = len(self._ids)
+        if n > self._capacity:
+            self._grow(n)
+        online = self._online
+        streams = self._streams
+        while len(online) < n:
+            online.append(False)
+            streams.append(None)
+
     def _add_peer(self, peer_id: str) -> int:
+        if len(self._online) != len(self._ids):
+            self._sync_rows()
         row = len(self._ids)
         if row >= self._capacity:
             self._grow(row + 1)
@@ -208,6 +267,8 @@ class PopulationEngine:
         Draw order matches the object engine's ``proc.start()`` loop:
         per protocol, one jitter draw then one sequence claim.
         """
+        if len(self._online) != len(self._ids):
+            self._sync_rows()
         row = self._index.get(peer_id)
         if row is None:
             row = self._add_peer(peer_id)
@@ -225,7 +286,7 @@ class PopulationEngine:
     def peer_offline(self, peer_id: str, now: float) -> None:
         """Stop the peer's loops (idempotent while offline)."""
         row = self._index.get(peer_id)
-        if row is None or not self._online[row]:
+        if row is None or row >= len(self._online) or not self._online[row]:
             return
         self._online[row] = False
         since = float(self._online_since[row])
@@ -240,7 +301,9 @@ class PopulationEngine:
 
     def is_online(self, peer_id: str) -> bool:
         row = self._index.get(peer_id)
-        return bool(row is not None and self._online[row])
+        return bool(
+            row is not None and row < len(self._online) and self._online[row]
+        )
 
     def __len__(self) -> int:
         return len(self._ids)
@@ -358,7 +421,13 @@ class PopulationEngine:
         """
         fired = 0
         while True:
-            t0 = self._true_min()
+            if self._peek_epoch == self._write_epoch:
+                # The engine peeked just before calling us; reuse its
+                # block-scan instead of repeating it.
+                key = self._peek_cache
+                t0 = None if key is None else key[0]
+            else:
+                t0 = self._true_min()
             if t0 is None:
                 break
             if limit_key is not None:
@@ -400,6 +469,12 @@ class PopulationEngine:
                     proto_parts.append(np.full(offs.size, p, dtype=np.int64))
         if not times_parts:
             return 0
+        if len(times_parts) == 1 and times_parts[0].size == 1:
+            return self._execute_single(
+                float(times_parts[0][0]),
+                int(proto_parts[0][0]),
+                int(row_parts[0][0]),
+            )
         times = np.concatenate(times_parts)
         seqs = np.concatenate(seq_parts)
         rows = np.concatenate(row_parts)
@@ -504,6 +579,8 @@ class PopulationEngine:
             return 0
         entries.sort()
         m = len(entries)
+        if m == 1:
+            return self._execute_single(t0, entries[0][1], entries[0][2])
         return self._execute(
             [t0] * m,
             np.array([seq for seq, _p, _row in entries], dtype=np.int64),
@@ -514,6 +591,45 @@ class PopulationEngine:
             None,
             frozenset(range(m)),
         )
+
+    def _execute_single(self, t: float, p: int, row: int) -> int:
+        """Scalar dispatch for a one-tick batch — the small-population
+        common case.  Skips every piece of batch bookkeeping (the gap
+        prepass, in-flight tracking, flush) while keeping the scalar
+        loop's exact semantics: action, then — if still online — one
+        jitter draw and one sequence claim, with the reschedule write
+        revalidated against the column (churn during the action
+        supersedes it, like :meth:`_flush_careful`)."""
+        engine = self._engine
+        engine.advance_to(t)
+        self._actions[p](self._ids[row])
+        self.ticks_by_protocol[p] += 1
+        self.batches += 1
+        if self.max_batch_size == 0:
+            self.max_batch_size = 1
+        self._write_epoch += 1
+        if not self._online[row]:
+            return 1
+        if self._jf > 0.0:
+            u = self._draw(row)
+            interval, neg_half, span = self._params[p]
+            gap = interval + (neg_half + span * u)
+            if gap < 1e-9:
+                gap = 1e-9
+        else:
+            gap = self._intervals[p]
+        seq = self._engine.claim_seq()
+        col = self._next[p]
+        if col[row] != t:
+            return 1  # superseded by churn during its own action
+        when = t + gap
+        col[row] = when
+        self._seq[p][row] = seq
+        bmin = self._bmin[p]
+        block = row >> _BLOCK_SHIFT
+        if when < bmin[block]:
+            bmin[block] = when
+        return 1
 
     def _execute(
         self,
@@ -551,6 +667,8 @@ class PopulationEngine:
         online = self._online
         nexts = self._next
         actions = self._actions
+        batch_actions = self._batch_actions
+        any_batch = self._any_batch
         ids = self._ids
         params = self._params
         jittered = self._jf > 0.0
@@ -568,7 +686,9 @@ class PopulationEngine:
         eseq = engine._seq
         iterated = n
         clock_checked = False
-        for k, t in enumerate(t_list):
+        k = 0
+        while k < n:
+            t = t_list[k]
             p = p_list[k]
             row = row_list[k]
             if self._churn_epoch != epoch and (
@@ -577,7 +697,55 @@ class PopulationEngine:
                 # A peer flipped on/offline earlier in this batch and
                 # superseded (or cancelled) this entry.
                 skipped += 1
+                k += 1
                 continue
+            if (
+                any_batch
+                and batch_actions[p] is not None
+                and self._churn_epoch == epoch
+            ):
+                # Maximal same-protocol run — hand it to the protocol's
+                # batch handler in one call.  No churn has happened
+                # since extraction, so every entry in the run is valid,
+                # and the handler's contract (no scheduling, no seq
+                # claims, no churn) means the reschedule draws and seq
+                # claims below land exactly where the scalar loop
+                # would have put them.
+                j = k + 1
+                while j < n and p_list[j] == p:
+                    j += 1
+                if j - k >= 2:
+                    if not clock_checked:
+                        engine.advance_to(t)
+                        clock_checked = True
+                    batch_actions[p](
+                        t_list[k:j],
+                        [ids[r] for r in row_list[k:j]],
+                        row_list[k:j],
+                    )
+                    if engine._seq != eseq or self._churn_epoch != epoch:
+                        raise RuntimeError(
+                            "batch protocol handler violated its "
+                            "contract: it must not schedule events, "
+                            "claim sequence numbers, or change peer "
+                            "online status"
+                        )
+                    for kk in range(k, j):
+                        if when_list[kk] is None:
+                            if jittered:
+                                u = draw(row_list[kk])
+                                interval, neg_half, span = params[p]
+                                gap = interval + (neg_half + span * u)
+                                if gap < 1e-9:
+                                    gap = 1e-9
+                            else:
+                                gap = params[p][0]
+                            when_list[kk] = t_list[kk] + gap
+                        eseq += 1
+                        seq_list[kk] = eseq
+                    engine._seq = eseq
+                    k = j
+                    continue
             # Inline advance_to: entries are time-sorted, so only the
             # batch's first executed tick needs the backwards check.
             if clock_checked:
@@ -612,15 +780,16 @@ class PopulationEngine:
                 eseq = seq_now
                 seq_list[k] = 0
                 unresched += 1
-            if action_claimed and k + 1 < n:
+            k += 1
+            if action_claimed and k < n:
                 # The action scheduled (or claimed seqs for) something;
                 # a new heap event may now precede the rest of the
                 # batch.  Re-merge through the engine when it does.
                 qkey = engine.next_event_key()
-                if qkey is not None and qkey < (t_list[k + 1], 0, s_arr[k + 1]):
+                if qkey is not None and qkey < (t_list[k], 0, s_arr[k]):
                     # Remaining entries stay scheduled in the columns
                     # and are re-extracted on the next pass.
-                    iterated = k + 1
+                    iterated = k
                     break
         count = iterated - skipped
         if self._churn_epoch == epoch and iterated == n and unresched == 0:

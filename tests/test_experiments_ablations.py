@@ -11,6 +11,7 @@ from repro.experiments.ablations import (
     ablation_churn,
     ablation_exchange_policy,
     ablation_experience_threshold,
+    ablation_vote_fanout,
     ablation_voxpopuli,
 )
 from repro.experiments.vote_sampling import VoteSamplingConfig
@@ -40,6 +41,19 @@ def test_exchange_policy_labels(tiny_config):
 def test_voxpopuli_toggle(tiny_config):
     out = ablation_voxpopuli(tiny_config)
     assert set(out) == {"with_voxpopuli", "without_voxpopuli"}
+
+
+def test_vote_fanout_sweep(tiny_config):
+    out = ablation_vote_fanout(tiny_config, fanouts=(1, 3))
+    assert set(out) == {"fanout=1", "fanout=3"}
+    for label, result in out.items():
+        assert label.replace("=", "") in result.name
+        assert result.metadata["ballotbox_bytes"] >= 0
+    # Triple the partners per tick => strictly more ballot traffic.
+    assert (
+        out["fanout=3"].metadata["ballotbox_bytes"]
+        > out["fanout=1"].metadata["ballotbox_bytes"]
+    )
 
 
 def test_threshold_sweep_labels(tiny_config):
