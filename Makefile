@@ -29,8 +29,11 @@ bench:
 # runners) the parallel paths beat sequential by >= 1.5x.  The
 # population section gates the SoA engine: full-stack tick schedule,
 # run summary and node states bit-identical to the object engine, and
-# (on multi-core runners) >= 5x peers/sec at 50k peers.  Also runs
-# the dead-statement lint.  Writes BENCH_contribution.json and
+# (on multi-core runners) >= 5x peers/sec at 50k peers; the columnar
+# sections additionally gate >= 2x per-tick for the columnar state
+# store and, for the packed vote payloads, bit-identical dict-vs-packed
+# runs plus >= 3x measured retained ballot memory.  Also runs the
+# dead-statement lint.  Writes BENCH_contribution.json and
 # BENCH_population.json so the perf trajectory accumulates per PR.
 bench-smoke: lint-deadcode
 	$(PY) scripts/bench_contribution.py --check

@@ -27,6 +27,13 @@ Three sections:
   memory comparison and the ``population_engine="auto"`` crossover
   (auto must resolve to the object engine below the threshold, so it
   never picks a slower configuration at small N).
+* **columnar_payloads** — the packed vote-payload layout vs dict-state
+  SoA on a vote-heavy 20 k-peer scenario (25 % voters, 30 votes each):
+  bit-identical summaries + strided per-node states (always gated), a
+  ``--min-payload-memory-ratio`` (default 3×) reduction in *measured*
+  retained ballot memory, and a recorded (not gated) speedup of the
+  vectorised adaptive-T dispersion scan, whose floats must match the
+  scalar loop exactly.
 * **million_peer_smoke** (``--full`` only) — a 1 000 000-peer churn
   trace run end-to-end through the real protocol stack under the SoA
   engine: completion is the gate, peers/sec is the trajectory metric.
@@ -243,22 +250,33 @@ def _columnar_scenario(n_peers: int, window: float):
 
     Everyone online from t=0, no churn and no transfers: the run is
     pure vote ticks, which is the path the columnar store exists to
-    accelerate.  5 % of peers carry votes (the paper runs ~100 voters
-    in a 2 000-peer population) over a pool of 20 moderators;
-    VoxPopuli is off because it is a bootstrap mechanism and this
-    scenario benchmarks the steady-state exchange.
+    accelerate.  VoxPopuli is off because it is a bootstrap mechanism
+    and this scenario benchmarks the steady-state exchange.
     """
     peers = {f"p{i:05d}": PeerProfile(peer_id=f"p{i:05d}") for i in range(n_peers)}
     return Trace(duration=window, peers=peers, swarms={}, events=[])
 
 
 def _columnar_stack_leg(
-    engine_kind: str, columnar: str, seed: int, n_peers: int, window: float
+    engine_kind: str,
+    columnar: str,
+    seed: int,
+    n_peers: int,
+    window: float,
+    voter_every: int = 20,
+    votes_per_voter: int = 3,
+    n_mods: int = 20,
+    v_max: int = 10,
 ):
     """One full-stack vote-exchange run; returns
     ``(run_wall, ticks, summary_sha, states_sha, runtime)`` — the
     runtime rides along so memory legs can measure the retained stack
-    before it is collected."""
+    before it is collected.
+
+    The default shape is the columnar_state scenario (5 % voters, the
+    paper's density, 3 votes each over 20 moderators); the payload
+    sections pass a vote-heavy shape instead.
+    """
     gc.collect()
     engine = Engine()
     rng = RngRegistry(seed)
@@ -270,7 +288,9 @@ def _columnar_stack_leg(
         session,
         rng,
         config=RuntimeConfig(
-            node=NodeConfig(b_min=1, b_max=10, voxpopuli_enabled=False),
+            node=NodeConfig(
+                b_min=1, b_max=10, v_max=v_max, voxpopuli_enabled=False
+            ),
             moderation_interval=1e9,
             vote_interval=60.0,
             bartercast_interval=1e9,
@@ -280,12 +300,12 @@ def _columnar_stack_leg(
         ),
     )
     pids = sorted(trace.peers)
-    mods = pids[:20]
+    mods = pids[:n_mods]
     for i, pid in enumerate(pids):
         node = runtime.ensure_node(pid)
-        if i % 20 == 0:  # 5% voters
-            for j in range(3):
-                m = mods[(i + j) % 20]
+        if i % voter_every == 0:
+            for j in range(votes_per_voter):
+                m = mods[(i + j) % n_mods]
                 if m != pid:
                     node.cast_vote(
                         m,
@@ -316,7 +336,10 @@ def _columnar_stack_leg(
 def _ballot_memory(seed: int, n_peers: int = 20_000, window: float = 300.0) -> dict:
     """Full-stack retained/peak memory of the dict-state vs columnar
     SoA runs (smaller population: tracemalloc roughly doubles the wall
-    cost, so the timing legs stay untraced)."""
+    cost, so the timing legs stay untraced).  Alongside the tracemalloc
+    whole-stack numbers, each leg reports its *measured* ballot-box
+    bytes (``ProtocolRuntime.ballot_memory_bytes``) so the dict-era
+    payload dicts and the packed slabs are compared like-for-like."""
     out = {"n_peers": n_peers, "window_s": window}
     for columnar in ("off", "on"):
         gc.collect()
@@ -329,6 +352,9 @@ def _ballot_memory(seed: int, n_peers: int = 20_000, window: float = 300.0) -> d
         tracemalloc.stop()
         out[f"soa_{columnar}_retained_mb"] = round(current / 1e6, 1)
         out[f"soa_{columnar}_peak_mb"] = round(peak / 1e6, 1)
+        out[f"soa_{columnar}_ballot_mb"] = round(
+            runtime.ballot_memory_bytes() / 1e6, 2
+        )
         if runtime._col_store is not None:
             out["columns_mb"] = round(runtime._col_store.memory_bytes() / 1e6, 1)
         del runtime
@@ -391,6 +417,108 @@ def bench_columnar_state(seed: int, n_peers: int = 50_000) -> dict:
         ),
         "ballot_memory": _ballot_memory(seed),
         "auto_crossover": _auto_crossover(seed),
+    }
+
+
+def _dispersion_scan(seed: int) -> dict:
+    """Adaptive-T dispersion microbench: one big ballot box (every
+    moderator contested by many voters) read through the scalar
+    ``all_counts`` loop (dict backing) and the vectorised bincount
+    scan (packed columnar backing).  The two must return bit-identical
+    floats; the speedup is recorded, not gated (single scans are
+    noisy at the microsecond scale)."""
+    import random as _random
+
+    from repro.core.ballotbox import BallotBox
+    from repro.core.columnar import ColumnarBallotBox, ColumnarStateStore
+    from repro.core.experience import AdaptiveThresholdExperience
+    from repro.core.votes import VoteEntry
+
+    rng = _random.Random(seed)
+    n_voters, n_mods, votes_each = 300, 200, 40
+    store = ColumnarStateStore()
+    ref = BallotBox(b_max=n_voters)
+    col = ColumnarBallotBox(store, store.ensure_row("owner"), n_voters)
+    for v in range(n_voters):
+        entries = [
+            VoteEntry(
+                f"m{j}",
+                Vote.POSITIVE if rng.random() < 0.6 else Vote.NEGATIVE,
+                0.0,
+            )
+            for j in rng.sample(range(n_mods), votes_each)
+        ]
+        now = float(v)
+        ref.merge(f"v{v}", entries, now)
+        col.merge(f"v{v}", list(entries), now)
+    d_ref = AdaptiveThresholdExperience.dispersion(ref)
+    d_col = AdaptiveThresholdExperience.dispersion(col)
+    reps = 200
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        ref.dispersion()
+    scalar_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        col.dispersion()
+    vector_wall = time.perf_counter() - t0
+    return {
+        "voters": n_voters,
+        "moderators": n_mods,
+        "total_votes": ref.total_votes(),
+        "identical": d_ref == d_col,
+        "scalar_us": round(1e6 * scalar_wall / reps, 1),
+        "vector_us": round(1e6 * vector_wall / reps, 1),
+        "speedup": round(scalar_wall / vector_wall, 1),
+    }
+
+
+def bench_columnar_payloads(seed: int, n_peers: int = 20_000) -> dict:
+    """Packed-payload gate: dict-state vs packed columnar ballot
+    payloads on a vote-heavy scenario (25 % voters, 30 votes each over
+    60 moderators — boxes actually fill with votes, unlike the sparse
+    columnar_state shape).
+
+    Gates: bit-identical summaries + strided ``node_to_dict`` states
+    between the two layouts, and a ≥``--min-payload-memory-ratio``
+    reduction in *measured* retained ballot memory (both sides counted
+    by the same rules; see ``ballot_memory_bytes``).  The vectorised
+    dispersion scan must return bit-identical floats; its speedup is
+    recorded.
+    """
+    window = 300.0
+    shape = {"voter_every": 4, "votes_per_voter": 30, "n_mods": 60, "v_max": 32}
+    legs = {}
+    for columnar in ("off", "on"):
+        wall, ticks, summary_sha, states_sha, runtime = _columnar_stack_leg(
+            "soa", columnar, seed, n_peers, window, **shape
+        )
+        legs[columnar] = {
+            "wall": wall,
+            "ticks": ticks,
+            "summary_sha": summary_sha,
+            "states_sha": states_sha,
+            "ballot_bytes": runtime.ballot_memory_bytes(),
+        }
+        del runtime
+    off, on = legs["off"], legs["on"]
+    ratio = off["ballot_bytes"] / on["ballot_bytes"] if on["ballot_bytes"] else 0.0
+    return {
+        "n_peers": n_peers,
+        "window_s": window,
+        "voter_fraction": 1.0 / shape["voter_every"],
+        "votes_per_voter": shape["votes_per_voter"],
+        "moderator_pool": shape["n_mods"],
+        "ticks": off["ticks"],
+        "ticks_identical": off["ticks"] == on["ticks"],
+        "summary_bit_identical": off["summary_sha"] == on["summary_sha"],
+        "states_bit_identical": off["states_sha"] == on["states_sha"],
+        "dict_wall_s": round(off["wall"], 2),
+        "packed_wall_s": round(on["wall"], 2),
+        "dict_ballot_mb": round(off["ballot_bytes"] / 1e6, 2),
+        "packed_ballot_mb": round(on["ballot_bytes"] / 1e6, 2),
+        "memory_ratio": round(ratio, 2),
+        "dispersion": _dispersion_scan(seed),
     }
 
 
@@ -485,6 +613,7 @@ def run(full: bool, seed: int, out: Path = None) -> dict:
         "engine_identity": bench_engine_identity(seed),
         "peers_per_sec": bench_peers_per_sec(seed),
         "columnar_state": bench_columnar_state(seed),
+        "columnar_payloads": bench_columnar_payloads(seed),
     }
     if full:
         sections["million_peer_smoke"] = bench_million_peer_smoke(seed)
@@ -534,6 +663,14 @@ def main(argv=None) -> int:
         "tick over the dict-state SoA path (gated unconditionally: "
         "the legs run sequentially on a single core either way)",
     )
+    parser.add_argument(
+        "--min-payload-memory-ratio",
+        type=float,
+        default=3.0,
+        help="required reduction in measured retained ballot memory "
+        "from packing vote payloads into columns (dict-layout bytes / "
+        "packed-layout bytes on the vote-heavy scenario)",
+    )
     args = parser.parse_args(argv)
 
     report = run(full=args.full, seed=args.seed, out=args.out)
@@ -576,6 +713,31 @@ def main(argv=None) -> int:
         failures.append(
             "population_engine='auto' resolved to the SoA engine below "
             "the crossover threshold"
+        )
+    payloads = report["columnar_payloads"]
+    if not payloads["ticks_identical"]:
+        failures.append("columnar_payloads legs fired different tick counts")
+    if not payloads["summary_bit_identical"]:
+        failures.append(
+            "run_summary diverged between dict and packed payload layouts"
+        )
+    if not payloads["states_bit_identical"]:
+        failures.append(
+            "per-node end states diverged between dict and packed "
+            "payload layouts"
+        )
+    if payloads["memory_ratio"] < args.min_payload_memory_ratio:
+        failures.append(
+            f"packed payload memory ratio {payloads['memory_ratio']:.2f}x "
+            f"< required {args.min_payload_memory_ratio:.1f}x at "
+            f"{payloads['n_peers']} peers "
+            f"(dict {payloads['dict_ballot_mb']} MB vs packed "
+            f"{payloads['packed_ballot_mb']} MB)"
+        )
+    if not payloads["dispersion"]["identical"]:
+        failures.append(
+            "vectorised dispersion scan diverged from the scalar "
+            "all_counts loop"
         )
     if capacity["speedup_gate_active"]:
         if capacity["speedup"] < args.min_speedup:

@@ -12,7 +12,8 @@ which is the design's defence against vote-count fabrication.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+import sys
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.core.votes import Vote, VoteEntry
 
@@ -38,26 +39,31 @@ class BallotBox:
     def merge(self, voter: str, entries: Iterable[VoteEntry], now: float) -> int:
         """Fold a voter's vote list into the box.
 
-        Returns the number of (new or updated) vote entries stored.
-        Eviction by unique-voter count runs after the merge.  A merge
-        that stores nothing leaves the voter's recency untouched.
+        Returns the number of *distinct* moderators stored (new or
+        updated).  A list that repeats a moderator id collapses to its
+        last vote — one-node-one-vote is structural — so the count must
+        not credit the duplicates, or a ``["m","m",...]``-style list
+        would report N stored votes while storing 1 and inflate the
+        stored-votes telemetry for free.  Eviction by unique-voter
+        count runs after the merge.  A merge that stores nothing
+        leaves the voter's recency untouched.
         """
         entries = list(entries)
         if not entries:
             return 0
         votes = self._votes.setdefault(voter, {})
-        stored = 0
+        stored: Set[str] = set()
         for e in entries:
             if e.moderator_id == voter:
                 # Self-votes carry no information; a moderator always
                 # approves of itself.
                 continue
             votes[e.moderator_id] = (Vote(e.vote), now)
-            stored += 1
+            stored.add(e.moderator_id)
         if not votes:
             self._votes.pop(voter, None)
             return 0
-        if stored == 0:
+        if not stored:
             # Nothing usable arrived (e.g. a self-vote-only list).  Do
             # NOT refresh the voter's recency: bumping it here would let
             # a peer dodge B_max eviction forever by periodically
@@ -66,7 +72,7 @@ class BallotBox:
         self._last_received[voter] = now
         self._bump_recency(voter)
         self._evict()
-        return stored
+        return len(stored)
 
     def _bump_recency(self, voter: str) -> None:
         """Move the voter to the end of the recency order.  A plain
@@ -184,6 +190,47 @@ class BallotBox:
                 else:
                     totals[moderator_id] = (pos, neg + 1)
         return totals
+
+    def dispersion(self) -> float:
+        """Worst-case per-moderator vote disagreement in ``[0, 1]`` —
+        the adaptive-T controller's signal (§VII): for every moderator
+        with at least two votes, ``4·p·(1−p)`` where ``p`` is the
+        positive fraction, taking the maximum over moderators.  One
+        pass over the stored votes via :meth:`all_counts`; the columnar
+        backing overrides this with a bincount scan over interned
+        moderator ids that produces bit-identical floats."""
+        worst = 0.0
+        for pos, neg in self.all_counts().values():
+            total = pos + neg
+            if total < 2:
+                continue
+            p = pos / total
+            worst = max(worst, 4.0 * p * (1.0 - p))
+        return worst
+
+    def memory_bytes(self) -> int:
+        """Measured retained footprint of the box's containers: the
+        per-voter payload dicts, their ``(vote, received_at)`` tuples
+        and timestamp floats, and the recency/last-received
+        bookkeeping.  Peer/moderator id strings and :class:`Vote`
+        members are shared objects (one reference here, owned
+        elsewhere) and excluded — the columnar store's
+        ``memory_bytes`` draws the same line, so dict and packed
+        layouts compare like-for-like."""
+        total = (
+            sys.getsizeof(self._votes)
+            + sys.getsizeof(self._last_received)
+            + sys.getsizeof(self._voter_order)
+        )
+        for votes in self._votes.values():
+            total += sys.getsizeof(votes)
+            for entry in votes.values():
+                total += sys.getsizeof(entry) + sys.getsizeof(entry[1])
+        for when in self._last_received.values():
+            total += sys.getsizeof(when)
+        for seq in self._voter_order.values():
+            total += sys.getsizeof(seq)
+        return total
 
     def score(self, moderator_id: str) -> int:
         """Summation score: positives − negatives."""

@@ -1,4 +1,4 @@
-"""Columnar protocol state — structure-of-arrays node state (phase 2).
+"""Columnar protocol state — structure-of-arrays node state.
 
 PR 6 made the tick *scheduler* columnar (:mod:`repro.sim.population`);
 this module does the same for the protocol *state*.  A
@@ -10,6 +10,8 @@ keyed by the population engine's row↔peer-id table
   (``bb_nvotes``), ``last_received`` recency (``bb_last``) and the
   ``B_max`` eviction order (``bb_order``), in ``[box_row, slot]``
   2-D columns with swap-remove slot recycling;
+* **ballot-box payloads** — the votes themselves, packed per box into
+  parallel slab arrays (see below) instead of per-slot Python dicts;
 * **experience thresholds** — the adaptive-T controller's per-node
   threshold (``exp_threshold``), read as a column slice by the batched
   experience gate;
@@ -23,22 +25,46 @@ keyed by the population engine's row↔peer-id table
 is unchanged, and the semantics — self-vote drops, store-nothing
 merges leaving recency untouched, oldest-voter eviction — are
 bit-identical to the dict implementation (property-tested in
-``tests/test_core_columnar.py``).
+``tests/test_core_columnar.py`` and ``tests/test_columnar_payloads.py``).
+
+Packed payload layout
+---------------------
+Moderator ids are interned once, globally, through a second
+:class:`RowTable` (``store.mods``): the table is append-only and never
+garbage-collected, so an interned id is stable for the lifetime of the
+store and each id string is held exactly once no matter how many boxes
+vote on it.  Each box owns three parallel slab arrays —
+
+* ``vote_mod`` (int32): interned moderator id,
+* ``vote_val`` (int8): the vote value (+1/−1),
+* ``vote_at`` (float64): per-vote ``received_at``,
+
+— and each occupied slot owns one contiguous *segment* of the slab,
+located by ``bb_off`` (offset) / ``bb_nvotes`` (live length) /
+``bb_segcap`` (capacity).  Segments keep the dict's insertion order
+(new moderators append; repeat votes overwrite in place), capacities
+are powers of two with a minimum of 2, and a segment that outgrows its
+capacity relocates to the slab tail.  Freed segments (evictions,
+wholesale restores) become slab garbage; a box compacts when more than
+half its slab is dead and the slab is non-trivial, so retained slab
+bytes stay within 2× the live votes.  The minimum capacity of 2 means
+capacity slack alone can never trip the dead-bytes threshold —
+compaction only chases actual garbage, never thrashes.
+
+The packed layout is what makes the hot reads vectorisable:
+``all_counts`` and the adaptive-T dispersion scan are ``np.bincount``
+passes over the interned ids of one box's gathered segments, with no
+Python-dict walking.
 
 Box rows are allocated lazily on first merge (``_box_of``
 indirection), and the slot width grows in powers of two up to the
 widest ``b_max`` actually used, so a million-peer population whose
 boxes stay empty pays nothing for the 2-D columns.
-
-Vote payloads (``moderator → (vote, received_at)``) stay in per-slot
-Python dicts: they are string-keyed, variable-width and read whole
-(``votes_of``/``all_counts``), so a numpy layout would buy nothing —
-the columns carry exactly the fixed-width state the batched merge and
-eviction path actually computes on.
 """
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -84,6 +110,8 @@ class ColumnarStateStore:
 
     def __init__(self, rows: Optional[RowTable] = None):
         self.rows = rows if rows is not None else RowTable()
+        #: global moderator intern table (id ↔ int32), append-only
+        self.mods = RowTable()
         self._cap = 0
         #: unique voters currently in the peer's ballot box
         self.bb_unique = np.zeros(0, dtype=np.int32)
@@ -112,16 +140,26 @@ class ColumnarStateStore:
         self.bb_last = np.zeros((0, 0), dtype=np.float64)
         #: recency stamp per (box, slot) — strictly increasing per box
         self.bb_order = np.zeros((0, 0), dtype=np.int64)
-        #: stored votes per (box, slot)
+        #: stored votes per (box, slot) — the segment's live length
         self.bb_nvotes = np.zeros((0, 0), dtype=np.int32)
+        #: slab offset of the slot's payload segment per (box, slot)
+        self.bb_off = np.zeros((0, 0), dtype=np.int64)
+        #: capacity of the slot's payload segment (0 = none)
+        self.bb_segcap = np.zeros((0, 0), dtype=np.int32)
         #: occupied slots per box
         self.bb_used: List[int] = []
         self._bb_seq: List[int] = []
         #: per box: ``voter row -> slot``, insertion-ordered by recency
         #: (move-to-end on bump) — O(1) eviction victim at the head
         self._slots: List[Dict[int, int]] = []
-        #: per box, per slot: ``moderator -> (vote, received_at)``
-        self._payload: List[List[Optional[Dict[str, Tuple[Vote, float]]]]] = []
+        # Per-box payload slabs (see the module docstring's layout).
+        self._pay_mod: List[np.ndarray] = []
+        self._pay_val: List[np.ndarray] = []
+        self._pay_at: List[np.ndarray] = []
+        #: slab tail (next free offset) per box
+        self._pay_used: List[int] = []
+        #: live (non-garbage) payload entries per box
+        self._pay_live: List[int] = []
 
     # ------------------------------------------------------------------
     # Row / box allocation
@@ -160,9 +198,13 @@ class ColumnarStateStore:
         self._n_boxes = box + 1
         self._box_of[owner_row] = box
         self._slots.append({})
-        self._payload.append([None] * self._width)
         self.bb_used.append(0)
         self._bb_seq.append(0)
+        self._pay_mod.append(np.empty(0, dtype=np.int32))
+        self._pay_val.append(np.empty(0, dtype=np.int8))
+        self._pay_at.append(np.empty(0, dtype=np.float64))
+        self._pay_used.append(0)
+        self._pay_live.append(0)
         return box
 
     def _grow_boxes(self, needed: int) -> None:
@@ -180,13 +222,14 @@ class ColumnarStateStore:
         self.bb_last = _resize2(self.bb_last, 0.0, np.float64)
         self.bb_order = _resize2(self.bb_order, 0, np.int64)
         self.bb_nvotes = _resize2(self.bb_nvotes, 0, np.int32)
+        self.bb_off = _resize2(self.bb_off, 0, np.int64)
+        self.bb_segcap = _resize2(self.bb_segcap, 0, np.int32)
         self._box_cap = new_cap
 
     def _grow_width(self, needed: int) -> None:
         new_w = max(self._width * 2, 4)
         while new_w < needed:
             new_w *= 2
-        pad = new_w - self._width
 
         def _widen(arr: np.ndarray, fill, dtype) -> np.ndarray:
             out = np.full((self._box_cap, new_w), fill, dtype=dtype)
@@ -197,9 +240,162 @@ class ColumnarStateStore:
         self.bb_last = _widen(self.bb_last, 0.0, np.float64)
         self.bb_order = _widen(self.bb_order, 0, np.int64)
         self.bb_nvotes = _widen(self.bb_nvotes, 0, np.int32)
-        for payload in self._payload:
-            payload.extend([None] * pad)
+        self.bb_off = _widen(self.bb_off, 0, np.int64)
+        self.bb_segcap = _widen(self.bb_segcap, 0, np.int32)
         self._width = new_w
+
+    # ------------------------------------------------------------------
+    # Payload slab management
+    # ------------------------------------------------------------------
+    def _seg_alloc(self, box: int, need: int) -> Tuple[int, int]:
+        """Reserve a tail segment of power-of-two capacity ≥ ``need``.
+
+        The minimum capacity of 2 bounds capacity slack at half the
+        slab, so the dead-bytes compaction trigger below can only fire
+        on real garbage (freed or relocated segments)."""
+        cap = 2
+        while cap < need:
+            cap <<= 1
+        if self._pay_used[box] + cap > self._pay_mod[box].size:
+            used = self._pay_used[box]
+            if used - self._pay_live[box] > (used >> 1) and used > 64:
+                self._compact_box(box)
+            if self._pay_used[box] + cap > self._pay_mod[box].size:
+                self._grow_slab(box, self._pay_used[box] + cap)
+        off = self._pay_used[box]
+        self._pay_used[box] = off + cap
+        return off, cap
+
+    def _grow_slab(self, box: int, needed: int) -> None:
+        size = max(self._pay_mod[box].size * 2, 16)
+        while size < needed:
+            size *= 2
+        for slabs, dtype in (
+            (self._pay_mod, np.int32),
+            (self._pay_val, np.int8),
+            (self._pay_at, np.float64),
+        ):
+            old = slabs[box]
+            out = np.empty(size, dtype=dtype)
+            out[: old.size] = old
+            slabs[box] = out
+
+    def _seg_free(self, box: int, slot: int) -> None:
+        """Orphan a slot's segment (it becomes slab garbage)."""
+        self._pay_live[box] -= int(self.bb_nvotes[box, slot])
+        self.bb_nvotes[box, slot] = 0
+        self.bb_segcap[box, slot] = 0
+
+    def _seg_write(self, box: int, slot: int, mids, vals, ats) -> None:
+        """Write a fresh segment for a slot that currently owns none.
+        ``ats`` may be a scalar (merge: everything lands ``now``) or a
+        per-entry sequence (restore)."""
+        n = len(mids)
+        off, cap = self._seg_alloc(box, n)
+        end = off + n
+        self._pay_mod[box][off:end] = mids
+        self._pay_val[box][off:end] = vals
+        self._pay_at[box][off:end] = ats
+        self.bb_off[box, slot] = off
+        self.bb_segcap[box, slot] = cap
+        self.bb_nvotes[box, slot] = n
+        self._pay_live[box] += n
+
+    def _seg_update(self, box: int, slot: int, merged: Dict[int, int], now: float) -> None:
+        """Fold ``merged`` (interned moderator → vote value) into an
+        existing segment: repeat moderators overwrite in place, new
+        ones append (relocating the segment to the slab tail when it
+        outgrows its capacity) — the same first-occurrence insertion
+        order the dict backend's payload dicts keep."""
+        off = int(self.bb_off[box, slot])
+        n = int(self.bb_nvotes[box, slot])
+        pm = self._pay_mod[box]
+        pv = self._pay_val[box]
+        pa = self._pay_at[box]
+        pos = {m: i for i, m in enumerate(pm[off : off + n].tolist())}
+        app_m: List[int] = []
+        app_v: List[int] = []
+        for mid, val in merged.items():
+            i = pos.get(mid)
+            if i is None:
+                app_m.append(mid)
+                app_v.append(val)
+            else:
+                pv[off + i] = val
+                pa[off + i] = now
+        k = len(app_m)
+        if not k:
+            return
+        if n + k > int(self.bb_segcap[box, slot]):
+            new_off, new_cap = self._seg_alloc(box, n + k)
+            # _seg_alloc may have compacted the box (moving this very
+            # segment), so re-read the slab arrays and the offset.
+            pm = self._pay_mod[box]
+            pv = self._pay_val[box]
+            pa = self._pay_at[box]
+            src = int(self.bb_off[box, slot])
+            pm[new_off : new_off + n] = pm[src : src + n]
+            pv[new_off : new_off + n] = pv[src : src + n]
+            pa[new_off : new_off + n] = pa[src : src + n]
+            off = new_off
+            self.bb_off[box, slot] = new_off
+            self.bb_segcap[box, slot] = new_cap
+        end = off + n
+        pm[end : end + k] = app_m
+        pv[end : end + k] = app_v
+        pa[end : end + k] = now
+        self.bb_nvotes[box, slot] = n + k
+        self._pay_live[box] += k
+
+    def _compact_box(self, box: int) -> None:
+        """Rewrite the box's slab with only the live segments (fresh
+        power-of-two capacities), dropping all garbage."""
+        used_slots = self.bb_used[box]
+        offs = self.bb_off[box]
+        lens = self.bb_nvotes[box]
+        caps = self.bb_segcap[box]
+        old_mod = self._pay_mod[box]
+        old_val = self._pay_val[box]
+        old_at = self._pay_at[box]
+        total = 0
+        for s in range(used_slots):
+            n = int(lens[s])
+            if n == 0:
+                continue
+            c = 2
+            while c < n:
+                c <<= 1
+            total += c
+        size = 16
+        while size < total:
+            size <<= 1
+        new_mod = np.empty(size, dtype=np.int32)
+        new_val = np.empty(size, dtype=np.int8)
+        new_at = np.empty(size, dtype=np.float64)
+        pos = 0
+        live = 0
+        for s in range(used_slots):
+            n = int(lens[s])
+            if n == 0:
+                offs[s] = 0
+                caps[s] = 0
+                continue
+            c = 2
+            while c < n:
+                c <<= 1
+            o = int(offs[s])
+            new_mod[pos : pos + n] = old_mod[o : o + n]
+            new_val[pos : pos + n] = old_val[o : o + n]
+            new_at[pos : pos + n] = old_at[o : o + n]
+            offs[s] = pos
+            caps[s] = c
+            pos += c
+            live += n
+        self._pay_mod[box] = new_mod
+        self._pay_val[box] = new_val
+        self._pay_at[box] = new_at
+        self._pay_used[box] = pos
+        self._pay_live[box] = live
 
     # ------------------------------------------------------------------
     # Ballot-box operations (semantics of repro.core.ballotbox)
@@ -213,8 +409,10 @@ class ColumnarStateStore:
         now: float,
         voter_row: Optional[int] = None,
     ) -> int:
-        """:meth:`BallotBox.merge` over the columns; returns entries
-        stored.  Recency is bumped only when something was stored.
+        """:meth:`BallotBox.merge` over the columns; returns the number
+        of *distinct* moderators stored (duplicate ids in one list
+        collapse to their last vote and count once, matching the dict
+        backend).  Recency is bumped only when something was stored.
 
         This is the batched vote tick's innermost call (twice per
         exchange), so the common shapes are specialised: sequence
@@ -231,25 +429,26 @@ class ColumnarStateStore:
             entries = list(entries)
         if not entries:
             return 0
-        box = self._box_of[owner_row]
-        if box < 0:
-            box = self._box_row(owner_row)
-        slots = self._slots[box]
-        vrow = self.rows.row(voter) if voter_row is None else voter_row
-        slot = slots.get(vrow)
-        payload = self._payload[box]
-        votes = payload[slot] if slot is not None else {}
-        stored = 0
+        mods = self.mods
+        # Intern and dedup first: ``merged`` keeps first-occurrence
+        # order with last-wins values, exactly what a payload dict
+        # would hold after folding the same list in.
+        merged: Dict[int, int] = {}
         for e in entries:
             moderator = e.moderator_id
             if moderator == voter:
                 # Self-votes carry no information (see BallotBox.merge).
                 continue
             v = e.vote
-            votes[moderator] = (v if type(v) is Vote else Vote(v), now)
-            stored += 1
-        if stored == 0:
+            merged[mods.row(moderator)] = int(v) if type(v) is Vote else int(Vote(v))
+        if not merged:
             return 0
+        box = self._box_of[owner_row]
+        if box < 0:
+            box = self._box_row(owner_row)
+        slots = self._slots[box]
+        vrow = self.rows.row(voter) if voter_row is None else voter_row
+        slot = slots.get(vrow)
         if slot is None:
             nslots = len(slots)
             if nslots >= b_max:
@@ -261,8 +460,8 @@ class ColumnarStateStore:
                     self._drop_slot(box, slots, owner_row, next(iter(slots)))
                     nslots -= 1
                 slot = slots.pop(next(iter(slots)))
+                self._seg_free(box, slot)
                 self.bb_voter[box, slot] = vrow
-                payload[slot] = votes
             else:
                 slot = self.bb_used[box]
                 if slot >= self._width:
@@ -270,22 +469,22 @@ class ColumnarStateStore:
                 self.bb_voter[box, slot] = vrow
                 self.bb_used[box] = slot + 1
                 self.bb_unique[owner_row] += 1
-                payload[slot] = votes
             slots[vrow] = slot
+            self._seg_write(box, slot, list(merged.keys()), list(merged.values()), now)
         else:
             # Move-to-end: recency order is the dict's insertion order.
             slots.pop(vrow)
             slots[vrow] = slot
+            self._seg_update(box, slot, merged, now)
         seq = self._bb_seq[box] + 1
         self._bb_seq[box] = seq
         self.bb_last[box, slot] = now
         self.bb_order[box, slot] = seq
-        self.bb_nvotes[box, slot] = len(votes)
         if len(slots) > b_max:
             # Only reachable when b_max shrank between merges on an
             # already-present voter (the insert path bounds itself).
             self._evict(box, slots, owner_row, b_max)
-        return stored
+        return len(merged)
 
     def bb_restore_voter(
         self,
@@ -295,9 +494,11 @@ class ColumnarStateStore:
         votes: Iterable[Tuple[str, Vote, float]],
         last_received: float,
     ) -> None:
-        """:meth:`BallotBox.restore_voter` over the columns."""
-        stored = {
-            moderator: (Vote(vote), received_at)
+        """:meth:`BallotBox.restore_voter` over the columns — the
+        voter's previous segment (if any) is wholesale replaced."""
+        mods = self.mods
+        stored: Dict[int, Tuple[int, float]] = {
+            mods.row(moderator): (int(Vote(vote)), received_at)
             for moderator, vote, received_at in votes
             if moderator != voter
         }
@@ -308,12 +509,25 @@ class ColumnarStateStore:
         vrow = self.rows.row(voter)
         slot = slots.get(vrow)
         if slot is None:
-            slot = self._take_slot(box, owner_row, vrow, stored)
+            slot = self.bb_used[box]
+            if slot >= self._width:
+                self._grow_width(slot + 1)
+            self.bb_voter[box, slot] = vrow
+            self.bb_used[box] = slot + 1
+            self.bb_unique[owner_row] += 1
         else:
-            self._payload[box][slot] = stored
+            self._seg_free(box, slot)
             slots.pop(vrow)
         slots[vrow] = slot
-        self._stamp(box, slot, last_received, len(stored))
+        vals_ats = list(stored.values())
+        self._seg_write(
+            box,
+            slot,
+            list(stored.keys()),
+            [v for v, _ in vals_ats],
+            [a for _, a in vals_ats],
+        )
+        self._stamp(box, slot, last_received)
         self._evict(box, slots, owner_row, b_max)
 
     def bb_remove_voter(self, owner_row: int, voter: str) -> bool:
@@ -326,28 +540,11 @@ class ColumnarStateStore:
         self._drop_slot(box, self._slots[box], owner_row, vrow)
         return True
 
-    def _take_slot(
-        self,
-        box: int,
-        owner_row: int,
-        vrow: int,
-        votes: Dict[str, Tuple[Vote, float]],
-    ) -> int:
-        slot = self.bb_used[box]
-        if slot >= self._width:
-            self._grow_width(slot + 1)
-        self.bb_voter[box, slot] = vrow
-        self.bb_used[box] = slot + 1
-        self.bb_unique[owner_row] += 1
-        self._payload[box][slot] = votes
-        return slot
-
-    def _stamp(self, box: int, slot: int, when: float, nvotes: int) -> None:
+    def _stamp(self, box: int, slot: int, when: float) -> None:
         seq = self._bb_seq[box] + 1
         self._bb_seq[box] = seq
         self.bb_last[box, slot] = when
         self.bb_order[box, slot] = seq
-        self.bb_nvotes[box, slot] = nvotes
 
     def _evict(
         self, box: int, slots: Dict[int, int], owner_row: int, b_max: int
@@ -361,23 +558,28 @@ class ColumnarStateStore:
     ) -> None:
         """Free a voter's slot, swap-filling from the box's last slot
         (a value-only dict update, so the moved voter keeps its recency
-        position)."""
+        position).  The dropped segment becomes slab garbage; the box
+        compacts when dead entries outnumber live ones."""
         slot = slots.pop(vrow)
         last = self.bb_used[box] - 1
-        payload = self._payload[box]
+        self._pay_live[box] -= int(self.bb_nvotes[box, slot])
         if slot != last:
             moved = int(self.bb_voter[box, last])
             self.bb_voter[box, slot] = moved
             self.bb_last[box, slot] = self.bb_last[box, last]
             self.bb_order[box, slot] = self.bb_order[box, last]
             self.bb_nvotes[box, slot] = self.bb_nvotes[box, last]
-            payload[slot] = payload[last]
+            self.bb_off[box, slot] = self.bb_off[box, last]
+            self.bb_segcap[box, slot] = self.bb_segcap[box, last]
             slots[moved] = slot
         self.bb_voter[box, last] = -1
         self.bb_nvotes[box, last] = 0
-        payload[last] = None
+        self.bb_segcap[box, last] = 0
         self.bb_used[box] = last
         self.bb_unique[owner_row] -= 1
+        used = self._pay_used[box]
+        if used - self._pay_live[box] > (used >> 1) and used > 64:
+            self._compact_box(box)
 
     # ------------------------------------------------------------------
     # Ballot-box reads
@@ -388,35 +590,137 @@ class ColumnarStateStore:
         box = self._box_of[owner_row]
         return self._slots[box] if box >= 0 else {}
 
-    def bb_payload(
-        self, owner_row: int, voter: str
-    ) -> Optional[Dict[str, Tuple[Vote, float]]]:
+    def _slot_of(self, owner_row: int, voter: str) -> Tuple[int, int]:
+        """``(box, slot)`` for a stored voter, ``(-1, -1)`` otherwise."""
         box = self._box_of[owner_row]
         if box < 0:
-            return None
+            return -1, -1
         vrow = self.rows.get(voter)
         if vrow is None:
-            return None
+            return -1, -1
         slot = self._slots[box].get(vrow)
-        return None if slot is None else self._payload[box][slot]
+        return (box, slot) if slot is not None else (-1, -1)
 
-    def bb_payloads(self, owner_row: int) -> List[Dict[str, Tuple[Vote, float]]]:
-        """Every voter's payload dict, in recency order."""
+    def _box_votes(self, box: int) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """All of one box's live ``(moderator ids, vote values)``,
+        gathered from the slot segments with one ragged fancy-index."""
+        used = self.bb_used[box]
+        if used == 0:
+            return None
+        lens = self.bb_nvotes[box, :used].astype(np.int64)
+        total = int(lens.sum())
+        if total == 0:
+            return None
+        offs = self.bb_off[box, :used]
+        starts = np.cumsum(lens) - lens
+        idx = np.repeat(offs - starts, lens) + np.arange(total, dtype=np.int64)
+        return self._pay_mod[box][idx], self._pay_val[box][idx]
+
+    def bb_votes_of(self, owner_row: int, voter: str) -> List[Tuple[str, Vote, float]]:
+        box, slot = self._slot_of(owner_row, voter)
+        if box < 0:
+            return []
+        off = int(self.bb_off[box, slot])
+        end = off + int(self.bb_nvotes[box, slot])
+        ids = self.mods.ids
+        return [
+            (ids[m], Vote(v), a)
+            for m, v, a in zip(
+                self._pay_mod[box][off:end].tolist(),
+                self._pay_val[box][off:end].tolist(),
+                self._pay_at[box][off:end].tolist(),
+            )
+        ]
+
+    def bb_vote_of(self, owner_row: int, voter: str, moderator_id: str):
+        box, slot = self._slot_of(owner_row, voter)
+        if box < 0:
+            return None
+        mid = self.mods.get(moderator_id)
+        if mid is None:
+            return None
+        off = int(self.bb_off[box, slot])
+        end = off + int(self.bb_nvotes[box, slot])
+        hits = np.nonzero(self._pay_mod[box][off:end] == mid)[0]
+        if hits.size == 0:
+            return None
+        return Vote(int(self._pay_val[box][off + int(hits[0])]))
+
+    def bb_moderators(self, owner_row: int) -> List[str]:
         box = self._box_of[owner_row]
         if box < 0:
             return []
-        payload = self._payload[box]
-        return [payload[slot] for slot in self._slots[box].values()]
+        gathered = self._box_votes(box)
+        if gathered is None:
+            return []
+        ids = self.mods.ids
+        return sorted(ids[m] for m in np.unique(gathered[0]).tolist())
 
-    def bb_last_received(self, owner_row: int, voter: str) -> float:
+    def bb_counts(self, owner_row: int, moderator_id: str) -> Tuple[int, int]:
+        box = self._box_of[owner_row]
+        if box < 0:
+            return 0, 0
+        mid = self.mods.get(moderator_id)
+        if mid is None:
+            return 0, 0
+        gathered = self._box_votes(box)
+        if gathered is None:
+            return 0, 0
+        mods_arr, vals_arr = gathered
+        sel = mods_arr == mid
+        tot = int(np.count_nonzero(sel))
+        if tot == 0:
+            return 0, 0
+        pos = int(np.count_nonzero(vals_arr[sel] > 0))
+        return pos, tot - pos
+
+    def bb_all_counts(self, owner_row: int) -> Dict[str, Tuple[int, int]]:
+        """``moderator → (positive, negative)`` as one pair of bincount
+        scans over the box's interned moderator ids."""
+        box = self._box_of[owner_row]
+        if box < 0:
+            return {}
+        gathered = self._box_votes(box)
+        if gathered is None:
+            return {}
+        mods_arr, vals_arr = gathered
+        nbins = int(mods_arr.max()) + 1
+        tot = np.bincount(mods_arr, minlength=nbins)
+        pos = np.bincount(mods_arr[vals_arr > 0], minlength=nbins)
+        ids = self.mods.ids
+        out: Dict[str, Tuple[int, int]] = {}
+        for mid in np.unique(mods_arr).tolist():
+            p = int(pos[mid])
+            out[ids[mid]] = (p, int(tot[mid]) - p)
+        return out
+
+    def bb_dispersion(self, owner_row: int) -> float:
+        """Worst-case per-moderator disagreement (the adaptive-T
+        signal): max over moderators with ≥ 2 votes of ``4·p·(1−p)``.
+        Same bincount scan as :meth:`bb_all_counts`, but the tallies
+        never materialise as a Python dict — this is the vectorised
+        fast path behind :meth:`ColumnarBallotBox.dispersion`."""
         box = self._box_of[owner_row]
         if box < 0:
             return 0.0
-        vrow = self.rows.get(voter)
-        if vrow is None:
+        gathered = self._box_votes(box)
+        if gathered is None:
             return 0.0
-        slot = self._slots[box].get(vrow)
-        return 0.0 if slot is None else float(self.bb_last[box, slot])
+        mods_arr, vals_arr = gathered
+        nbins = int(mods_arr.max()) + 1
+        tot = np.bincount(mods_arr, minlength=nbins)
+        mask = tot >= 2
+        if not mask.any():
+            return 0.0
+        pos = np.bincount(mods_arr[vals_arr > 0], minlength=nbins)
+        # int/int true division and 4·p·(1−p) are elementwise float64
+        # ops — bit-identical to the scalar loop over all_counts().
+        p = pos[mask] / tot[mask]
+        return float((4.0 * p * (1.0 - p)).max())
+
+    def bb_last_received(self, owner_row: int, voter: str) -> float:
+        box, slot = self._slot_of(owner_row, voter)
+        return 0.0 if box < 0 else float(self.bb_last[box, slot])
 
     def bb_total_votes(self, owner_row: int) -> int:
         box = self._box_of[owner_row]
@@ -427,9 +731,14 @@ class ColumnarStateStore:
 
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:
-        """Numpy column footprint (payload dicts and the per-box
-        Python bookkeeping lists excluded)."""
-        return sum(
+        """Measured retained footprint: every numpy column, every
+        payload slab, the per-box slot dicts and bookkeeping lists, and
+        the moderator intern table's containers.  Peer/moderator id
+        *strings* are shared with the rest of the system (the row
+        tables hold one reference each) and excluded — the dict
+        backend's :meth:`BallotBox.memory_bytes` draws the same line,
+        so the two layouts are comparable like-for-like."""
+        total = sum(
             arr.nbytes
             for arr in (
                 self.bb_unique,
@@ -440,13 +749,59 @@ class ColumnarStateStore:
                 self.bb_last,
                 self.bb_order,
                 self.bb_nvotes,
+                self.bb_off,
+                self.bb_segcap,
             )
         )
+        for slabs in (self._pay_mod, self._pay_val, self._pay_at):
+            total += sys.getsizeof(slabs)
+            for arr in slabs:
+                total += arr.nbytes
+        for d in self._slots:
+            total += sys.getsizeof(d)
+        for container in (
+            self._box_of,
+            self.bb_used,
+            self._bb_seq,
+            self._slots,
+            self._pay_used,
+            self._pay_live,
+            self.mods.ids,
+            self.mods.index,
+        ):
+            total += sys.getsizeof(container)
+        return total
+
+    def box_memory_bytes(self, owner_row: int) -> int:
+        """One box's share of the retained footprint: its rows of the
+        2-D columns, its payload slabs and its slot dict.  (The global
+        intern table is shared and not attributed to any single box.)"""
+        box = self._box_of[owner_row]
+        if box < 0:
+            return 0
+        per_slot = sum(
+            arr.itemsize
+            for arr in (
+                self.bb_voter,
+                self.bb_last,
+                self.bb_order,
+                self.bb_nvotes,
+                self.bb_off,
+                self.bb_segcap,
+            )
+        )
+        total = self._width * per_slot
+        total += self._pay_mod[box].nbytes
+        total += self._pay_val[box].nbytes
+        total += self._pay_at[box].nbytes
+        total += sys.getsizeof(self._slots[box])
+        return total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ColumnarStateStore(rows={len(self.rows)}, "
-            f"boxes={self._n_boxes}, width={self._width})"
+            f"boxes={self._n_boxes}, width={self._width}, "
+            f"moderators={len(self.mods)})"
         )
 
 
@@ -498,53 +853,31 @@ class ColumnarBallotBox(BallotBox):
         return [ids[vrow] for vrow in self._store.bb_slots(self._row)]
 
     def votes_of(self, voter: str) -> List[Tuple[str, Vote, float]]:
-        payload = self._store.bb_payload(self._row, voter)
-        if payload is None:
-            return []
-        return [
-            (moderator, vote, received_at)
-            for moderator, (vote, received_at) in payload.items()
-        ]
+        return self._store.bb_votes_of(self._row, voter)
 
     def last_received_of(self, voter: str) -> float:
         return self._store.bb_last_received(self._row, voter)
 
     def moderators(self) -> List[str]:
-        out = set()
-        for votes in self._store.bb_payloads(self._row):
-            out.update(votes.keys())
-        return sorted(out)
+        return self._store.bb_moderators(self._row)
 
     def counts(self, moderator_id: str) -> Tuple[int, int]:
-        pos = neg = 0
-        for votes in self._store.bb_payloads(self._row):
-            entry = votes.get(moderator_id)
-            if entry is None:
-                continue
-            if entry[0] is Vote.POSITIVE:
-                pos += 1
-            else:
-                neg += 1
-        return pos, neg
+        return self._store.bb_counts(self._row, moderator_id)
 
     def all_counts(self) -> Dict[str, Tuple[int, int]]:
-        totals: Dict[str, Tuple[int, int]] = {}
-        for votes in self._store.bb_payloads(self._row):
-            for moderator_id, (vote, _at) in votes.items():
-                pos, neg = totals.get(moderator_id, (0, 0))
-                if vote is Vote.POSITIVE:
-                    totals[moderator_id] = (pos + 1, neg)
-                else:
-                    totals[moderator_id] = (pos, neg + 1)
-        return totals
+        return self._store.bb_all_counts(self._row)
 
     def total_votes(self) -> int:
         return self._store.bb_total_votes(self._row)
 
     def vote_of(self, voter: str, moderator_id: str):
-        payload = self._store.bb_payload(self._row, voter)
-        entry = payload.get(moderator_id) if payload else None
-        return entry[0] if entry else None
+        return self._store.bb_vote_of(self._row, voter, moderator_id)
+
+    def dispersion(self) -> float:
+        return self._store.bb_dispersion(self._row)
+
+    def memory_bytes(self) -> int:
+        return self._store.box_memory_bytes(self._row)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

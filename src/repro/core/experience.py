@@ -147,18 +147,12 @@ class AdaptiveThresholdExperience(ExperienceFunction):
     def dispersion(ballot_box: "BallotBox") -> float:
         """Worst-case per-moderator vote disagreement in ``[0, 1]``.
 
-        One pass over the stored votes via
-        :meth:`~repro.core.ballotbox.BallotBox.all_counts` — calling
-        ``counts()`` per moderator would rescan every voter for every
-        moderator, O(moderators × voters) per adaptive tick."""
-        worst = 0.0
-        for pos, neg in ballot_box.all_counts().values():
-            total = pos + neg
-            if total < 2:
-                continue
-            p = pos / total
-            worst = max(worst, 4.0 * p * (1.0 - p))
-        return worst
+        Delegates to :meth:`~repro.core.ballotbox.BallotBox.dispersion`
+        so the scan matches the box's backing: the dict box does one
+        pass over ``all_counts()``; a columnar box runs the vectorised
+        ``np.bincount`` scan over interned moderator ids — bit-identical
+        floats, no Python-dict walking on the adaptive tick."""
+        return ballot_box.dispersion()
 
     def update(self, observer: str, ballot_box: "BallotBox") -> float:
         """Adapt the observer's T from its current ballot box; returns

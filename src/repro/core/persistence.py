@@ -114,7 +114,10 @@ def node_from_dict(
     Pass ``col_store`` to restore into a column-backed node — the
     save format is backing-agnostic (everything goes through the
     public BallotBox API), so dict-state saves restore into columnar
-    boxes and vice versa, bit-identically."""
+    boxes and vice versa, bit-identically.  The columnar store's
+    packed payload slabs are invisible here for the same reason:
+    ``votes_of`` yields the same insertion-ordered triples whether
+    they come from a payload dict or a slab segment."""
     fmt = data.get("format")
     if fmt not in _SUPPORTED_FORMATS:
         raise ValueError(f"unsupported node-state format {fmt!r}")

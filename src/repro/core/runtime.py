@@ -424,14 +424,26 @@ class ProtocolRuntime:
             "population": self.population_summary(),
         }
 
+    def ballot_memory_bytes(self) -> int:
+        """Measured retained bytes of all ballot-box state, comparable
+        across backings: the columnar store's columns, payload slabs
+        and bookkeeping when columnar state is on, otherwise the sum of
+        every materialised node's dict-box containers (both sides
+        exclude shared id strings, so the numbers are like-for-like)."""
+        if self._col_store is not None:
+            return self._col_store.memory_bytes()
+        return sum(node.ballot_box.memory_bytes() for node in self.nodes.values())
+
     def population_summary(self) -> Dict[str, object]:
         """Tick-scheduler telemetry: which engine ran, population and
-        online counts, ticks dispatched per protocol, batch shape.
-        Under the object engine every tick is its own heap event, so
-        batches degenerate to size 1."""
+        online counts, ticks dispatched per protocol, batch shape, and
+        the measured ballot-box memory footprint.  Under the object
+        engine every tick is its own heap event, so batches degenerate
+        to size 1."""
         if self._population is not None:
             out = self._population.telemetry()
             out["columnar_state"] = self.columnar_state
+            out["ballot_memory_bytes"] = self.ballot_memory_bytes()
             return out
         names = [spec[0] for spec in self._protocol_specs()]
         ticks_by_protocol: Dict[str, int] = {}
@@ -451,6 +463,7 @@ class ProtocolRuntime:
             "mean_batch_size": 1.0 if ticks else 0.0,
             "max_batch_size": 1 if ticks else 0,
             "ticks_by_protocol": ticks_by_protocol,
+            "ballot_memory_bytes": self.ballot_memory_bytes(),
         }
 
     def node_counters(self) -> Dict[str, int]:

@@ -62,6 +62,7 @@ bench-smoke``) enforce the contract end-to-end.
 
 from __future__ import annotations
 
+import sys
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -899,9 +900,27 @@ class PopulationEngine:
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Measured retained footprint of the scheduler's columns: the
+        per-protocol next/seq/block-min arrays, the jitter buffers and
+        cursors, the online flags and since-stamps, and the container
+        overhead of the Python-side bookkeeping (peer id strings are
+        shared with the row table and excluded, matching the accounting
+        line the state store draws)."""
+        total = self._online_since.nbytes + self._jit_buf.nbytes
+        total += self._jit_pos.nbytes
+        for cols in (self._next, self._seq, self._bmin):
+            total += sys.getsizeof(cols)
+            for arr in cols:
+                total += arr.nbytes
+        for container in (self._online, self._streams):
+            total += sys.getsizeof(container)
+        return total
+
     def telemetry(self) -> Dict[str, object]:
         """Counters for ``run_summary()``: population size, online
-        count, ticks dispatched per protocol, and batch shape."""
+        count, ticks dispatched per protocol, batch shape, and the
+        scheduler columns' measured footprint."""
         ticks = sum(self.ticks_by_protocol)
         peers_online = sum(self._online)
         return {
@@ -914,4 +933,5 @@ class PopulationEngine:
             "max_batch_size": self.max_batch_size,
             "ticks_by_protocol": dict(zip(self._names, self.ticks_by_protocol)),
             "completed_session_seconds": self.completed_session_seconds,
+            "scheduler_memory_bytes": self.memory_bytes(),
         }

@@ -1,0 +1,333 @@
+"""Packed columnar vote payloads vs the dict reference.
+
+``ColumnarStateStore`` packs vote payloads into per-box slab arrays
+(interned moderator ids + parallel value/timestamp columns) behind the
+unchanged BallotBox API.  These tests lock down:
+
+* the duplicate-moderator merge-count fix: a ``["m","m",...]``-style
+  list stores one vote and must *report* one, on both backends
+  (pre-fix, both counted every non-self entry);
+* randomized dup-heavy / self-vote-only / interleaved-restore merge
+  equality between the dict box and the packed columnar box, including
+  ``all_counts``, ``voters_by_recency``, ``vote_of`` and FORMAT_VERSION
+  2 round trips;
+* eviction-order equivalence under a shrinking/growing ``b_max``
+  (the evict-then-insert slot-reuse audit from the columnar merge
+  fast path);
+* the vectorised dispersion scan returning bit-identical floats to
+  the scalar ``all_counts`` loop;
+* slab hygiene: compaction keeps retained payload bytes bounded under
+  eviction churn, and ``memory_bytes`` actually counts the payloads.
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.ballotbox import BallotBox
+from repro.core.columnar import ColumnarBallotBox, ColumnarStateStore
+from repro.core.experience import AdaptiveThresholdExperience
+from repro.core.node import NodeConfig, VoteSamplingNode
+from repro.core.persistence import node_from_dict, node_to_dict
+from repro.core.votes import Vote, VoteEntry
+
+VOTES = (Vote.POSITIVE, Vote.NEGATIVE)
+
+
+def _pair(b_max: int, owner: str = "owner"):
+    store = ColumnarStateStore()
+    return (
+        BallotBox(b_max),
+        ColumnarBallotBox(store, store.ensure_row(owner), b_max),
+        store,
+    )
+
+
+def _assert_equal(ref: BallotBox, col: ColumnarBallotBox) -> None:
+    assert ref.voters_by_recency() == col.voters_by_recency()
+    assert ref.all_counts() == col.all_counts()
+    assert ref.total_votes() == col.total_votes()
+    assert ref.moderators() == col.moderators()
+    for voter in ref.voters():
+        assert ref.votes_of(voter) == col.votes_of(voter)
+        assert ref.last_received_of(voter) == col.last_received_of(voter)
+        for moderator in ref.moderators():
+            assert ref.vote_of(voter, moderator) == col.vote_of(voter, moderator)
+
+
+# ----------------------------------------------------------------------
+# Satellite: duplicate-moderator merge counts (both backends)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["dict", "columnar"])
+def test_duplicate_moderator_list_counts_once(backend):
+    """A list repeating one moderator stores one vote (last wins) and
+    must report exactly one stored entry — pre-fix both backends
+    reported len(list)."""
+    ref, col, _ = _pair(b_max=10)
+    box = ref if backend == "dict" else col
+    entries = [
+        VoteEntry("m", Vote.POSITIVE, 0.0),
+        VoteEntry("m", Vote.NEGATIVE, 0.0),
+        VoteEntry("m", Vote.POSITIVE, 0.0),
+    ]
+    assert box.merge("v1", entries, now=1.0) == 1
+    assert box.counts("m") == (1, 0)  # last vote wins
+    assert box.total_votes() == 1
+
+
+@pytest.mark.parametrize("backend", ["dict", "columnar"])
+def test_mixed_duplicates_count_distinct_moderators(backend):
+    ref, col, _ = _pair(b_max=10)
+    box = ref if backend == "dict" else col
+    entries = [
+        VoteEntry("a", Vote.POSITIVE, 0.0),
+        VoteEntry("b", Vote.NEGATIVE, 0.0),
+        VoteEntry("a", Vote.NEGATIVE, 0.0),
+        VoteEntry("v1", Vote.POSITIVE, 0.0),  # self-vote, dropped
+        VoteEntry("b", Vote.NEGATIVE, 0.0),
+    ]
+    assert box.merge("v1", entries, now=1.0) == 2
+    assert box.all_counts() == {"a": (0, 1), "b": (0, 1)}
+
+
+def test_node_votes_merged_telemetry_not_inflated_by_duplicates():
+    """The stored-votes counter a node accumulates from merge returns
+    must not give dup-heavy lists free weight."""
+    node = VoteSamplingNode("owner", NodeConfig(b_max=10), np.random.default_rng(0))
+    entries = [VoteEntry("m", Vote.POSITIVE, 0.0)] * 5
+    node.receive_votes("v1", entries, now=1.0, experienced=True)
+    assert node.votes_merged == 1
+
+
+# ----------------------------------------------------------------------
+# Satellite: randomized merge equality (dup-heavy / self-only / restore)
+# ----------------------------------------------------------------------
+def test_randomized_dup_heavy_sequences_bit_identical():
+    rng = random.Random(0xBEEF)
+    for trial in range(8):
+        b_max = rng.choice((1, 2, 4, 7))
+        ref, col, _ = _pair(b_max)
+        voters = [f"v{i}" for i in range(9)]
+        mods = [f"m{i}" for i in range(5)]
+        now = 0.0
+        for _step in range(300):
+            now += rng.random()
+            voter = rng.choice(voters)
+            roll = rng.random()
+            if roll < 0.15:
+                # Self-vote-only list: must store nothing, bump nothing.
+                entries = [
+                    VoteEntry(voter, rng.choice(VOTES), now)
+                    for _ in range(rng.randrange(1, 4))
+                ]
+            elif roll < 0.85:
+                # Dup-heavy: few distinct moderators, many repeats.
+                pool = rng.sample(mods, rng.randrange(1, 4)) + [voter]
+                entries = [
+                    VoteEntry(rng.choice(pool), rng.choice(VOTES), now)
+                    for _ in range(rng.randrange(1, 8))
+                ]
+            else:
+                # Interleaved restore of a (possibly present) voter.
+                votes = [
+                    (rng.choice(mods), rng.choice(VOTES), now)
+                    for _ in range(rng.randrange(0, 4))
+                ]
+                ref.restore_voter(voter, votes, now)
+                col.restore_voter(voter, list(votes), now)
+                assert ref.voters_by_recency() == col.voters_by_recency()
+                continue
+            assert ref.merge(voter, entries, now) == col.merge(
+                voter, list(entries), now
+            )
+            assert ref.voters_by_recency() == col.voters_by_recency()
+        _assert_equal(ref, col)
+
+
+# ----------------------------------------------------------------------
+# Satellite: shrinking/growing b_max eviction-order equivalence
+# ----------------------------------------------------------------------
+def test_randomized_shrinking_b_max_eviction_equivalence():
+    """``b_max`` shrinks and grows between merges while voters repeat:
+    the columnar evict-then-insert slot-reuse path and the trailing
+    shrunk-b_max guard must pick the dict box's victims exactly."""
+    rng = random.Random(0x5EED)
+    for trial in range(6):
+        ref, col, _ = _pair(b_max=6)
+        voters = [f"v{i}" for i in range(10)]
+        now = 0.0
+        for _step in range(400):
+            now += 1.0
+            if rng.random() < 0.25:
+                new_b_max = rng.randrange(1, 8)
+                ref.b_max = col.b_max = new_b_max
+            voter = rng.choice(voters)
+            entries = [
+                VoteEntry(rng.choice(("m1", "m2", "m3", voter)), rng.choice(VOTES), now)
+                for _ in range(rng.randrange(0, 3))
+            ]
+            stored = ref.merge(voter, entries, now)
+            assert stored == col.merge(voter, list(entries), now)
+            assert ref.voters_by_recency() == col.voters_by_recency()
+            assert ref.num_unique_users() == col.num_unique_users()
+            if stored:
+                # A shrunk b_max takes effect at the next *storing*
+                # merge; store-nothing merges leave the box untrimmed
+                # (identically on both backends, checked above).
+                assert ref.num_unique_users() <= ref.b_max
+        _assert_equal(ref, col)
+
+
+def test_shrunk_b_max_stale_stamp_not_visible():
+    """After b_max shrinks, a repeat-voter merge trims the box; the
+    survivor set and their recency stamps must match the dict box
+    (no stale bb_last/bb_order leaking from reused slots)."""
+    ref, col, _ = _pair(b_max=5)
+    for i, voter in enumerate(("a", "b", "c", "d", "e")):
+        entries = [VoteEntry("mod", Vote.POSITIVE, float(i))]
+        ref.merge(voter, entries, float(i))
+        col.merge(voter, entries, float(i))
+    ref.b_max = col.b_max = 2
+    entries = [VoteEntry("mod2", Vote.NEGATIVE, 10.0)]
+    ref.merge("c", entries, 10.0)
+    col.merge("c", entries, 10.0)
+    _assert_equal(ref, col)
+    # Survivors then face a fresh newcomer: victims must still agree.
+    entries = [VoteEntry("mod", Vote.POSITIVE, 11.0)]
+    ref.merge("f", entries, 11.0)
+    col.merge("f", entries, 11.0)
+    _assert_equal(ref, col)
+
+
+# ----------------------------------------------------------------------
+# Satellite: FORMAT_VERSION 2 round trips with dup-heavy history
+# ----------------------------------------------------------------------
+def _dup_heavy_node(col_store=None) -> VoteSamplingNode:
+    node = VoteSamplingNode(
+        "owner",
+        NodeConfig(b_min=1, b_max=3),
+        np.random.default_rng(11),
+        col_store=col_store,
+    )
+    rng = random.Random(99)
+    mods = ["modA", "modB", "modC"]
+    for i in range(7):
+        voter = f"v{i % 5}"
+        pool = rng.sample(mods, rng.randrange(1, 3)) + [voter]
+        entries = [
+            VoteEntry(rng.choice(pool), rng.choice(VOTES), float(i))
+            for _ in range(rng.randrange(1, 6))
+        ]
+        node.ballot_box.merge(voter, entries, now=float(i))
+    node._sync_membership()
+    return node
+
+
+def test_format_v2_round_trip_dup_heavy_across_backings():
+    base = node_to_dict(_dup_heavy_node())
+    for src_store in (None, ColumnarStateStore()):
+        saved = node_to_dict(_dup_heavy_node(src_store))
+        assert saved == base  # packed backing never leaks into the format
+        payload = json.loads(json.dumps(saved))
+        for dst_store in (None, ColumnarStateStore()):
+            restored = node_from_dict(payload, col_store=dst_store)
+            assert node_to_dict(restored) == base
+
+
+# ----------------------------------------------------------------------
+# Tentpole: vectorised dispersion scan
+# ----------------------------------------------------------------------
+def test_dispersion_vectorised_scan_bit_identical():
+    rng = random.Random(0xD15)
+    ref, col, _ = _pair(b_max=64)
+    for v in range(40):
+        entries = [
+            VoteEntry(f"m{j}", rng.choice(VOTES), 0.0)
+            for j in rng.sample(range(30), rng.randrange(1, 12))
+        ]
+        now = float(v)
+        ref.merge(f"v{v}", entries, now)
+        col.merge(f"v{v}", list(entries), now)
+    d_ref = AdaptiveThresholdExperience.dispersion(ref)
+    d_col = AdaptiveThresholdExperience.dispersion(col)
+    assert d_ref == d_col  # exact float equality, not approx
+    assert 0.0 <= d_col <= 1.0
+
+
+def test_dispersion_empty_and_single_vote_cases():
+    ref, col, _ = _pair(b_max=4)
+    assert ref.dispersion() == col.dispersion() == 0.0
+    ref.merge("v1", [VoteEntry("m", Vote.POSITIVE, 0.0)], 1.0)
+    col.merge("v1", [VoteEntry("m", Vote.POSITIVE, 0.0)], 1.0)
+    # One vote per moderator: below the two-vote floor, dispersion 0.
+    assert ref.dispersion() == col.dispersion() == 0.0
+    ref.merge("v2", [VoteEntry("m", Vote.NEGATIVE, 0.0)], 2.0)
+    col.merge("v2", [VoteEntry("m", Vote.NEGATIVE, 0.0)], 2.0)
+    assert ref.dispersion() == col.dispersion() == 1.0  # 50/50 split
+
+
+# ----------------------------------------------------------------------
+# Slab hygiene: compaction + honest memory accounting
+# ----------------------------------------------------------------------
+def test_memory_bytes_counts_payload_slabs():
+    store = ColumnarStateStore()
+    row = store.ensure_row("owner")
+    box = ColumnarBallotBox(store, row, 64)
+    before = store.memory_bytes()
+    entries = [VoteEntry(f"m{i}", Vote.POSITIVE, 0.0) for i in range(500)]
+    box.merge("v1", entries, 1.0)
+    grown = store.memory_bytes() - before
+    # 500 packed votes cost at least 13 bytes each (int32+int8+float64).
+    assert grown >= 500 * 13
+    assert box.memory_bytes() >= 500 * 13
+
+
+def test_compaction_bounds_slab_under_eviction_churn():
+    """Thousands of evictions through a tiny box: dead segments must be
+    compacted away, keeping the slab within a small multiple of the
+    live payload instead of growing with history."""
+    store = ColumnarStateStore()
+    row = store.ensure_row("owner")
+    box = ColumnarBallotBox(store, row, 4)
+    for i in range(3000):
+        entries = [
+            VoteEntry(f"m{i % 17}", Vote.POSITIVE, 0.0),
+            VoteEntry(f"m{(i + 1) % 17}", Vote.NEGATIVE, 0.0),
+        ]
+        box.merge(f"v{i}", entries, float(i))
+    assert box.num_unique_users() == 4
+    live = box.total_votes()
+    slab = store._pay_mod[0].size
+    # used ≤ 2·live from the compaction trigger; the slab itself is the
+    # next power of two above used plus growth slack.
+    assert store._pay_used[0] <= 2 * max(live, 64)
+    assert slab <= 4 * max(live, 64)
+
+
+def test_segment_relocation_preserves_contents():
+    """A voter whose vote set keeps growing relocates its segment to
+    the slab tail repeatedly; contents and order must survive."""
+    ref, col, _ = _pair(b_max=4)
+    for i in range(40):
+        entries = [VoteEntry(f"m{i}", VOTES[i % 2], 0.0)]
+        ref.merge("v1", entries, float(i))
+        col.merge("v1", entries, float(i))
+    _assert_equal(ref, col)
+    assert [m for m, _v, _a in col.votes_of("v1")] == [f"m{i}" for i in range(40)]
+
+
+def test_moderator_intern_table_is_global_and_stable():
+    store = ColumnarStateStore()
+    box_a = ColumnarBallotBox(store, store.ensure_row("a"), 4)
+    box_b = ColumnarBallotBox(store, store.ensure_row("b"), 4)
+    box_a.merge("v1", [VoteEntry("shared_mod", Vote.POSITIVE, 0.0)], 1.0)
+    before = len(store.mods)
+    box_b.merge("v2", [VoteEntry("shared_mod", Vote.NEGATIVE, 0.0)], 2.0)
+    # The second box reuses the interned id: no new table entry.
+    assert len(store.mods) == before
+    assert store.mods.get("shared_mod") is not None
+    box_a.remove_voter("v1")
+    # Intern table is append-only: ids survive payload removal.
+    assert store.mods.get("shared_mod") is not None
