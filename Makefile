@@ -32,9 +32,14 @@ bench:
 # (on multi-core runners) >= 5x peers/sec at 50k peers; the columnar
 # sections additionally gate >= 2x per-tick for the columnar state
 # store and, for the packed vote payloads, bit-identical dict-vs-packed
-# runs plus >= 3x measured retained ballot memory.  Also runs the
-# dead-statement lint.  Writes BENCH_contribution.json and
-# BENCH_population.json so the perf trajectory accumulates per PR.
+# runs plus >= 3x measured retained ballot memory.  The service section
+# gates the crash contract: a shard worker SIGKILLed mid-run and
+# restarted by the supervisor from its last checkpoint must finish
+# bit-identical to the same shard never interrupted (node states,
+# RNG positions, summaries), with checkpoint overhead <= 10% of the
+# shard's wall time.  Also runs the dead-statement lint.  Writes
+# BENCH_contribution.json and BENCH_population.json so the perf
+# trajectory accumulates per PR.
 bench-smoke: lint-deadcode
 	$(PY) scripts/bench_contribution.py --check
 	$(PY) scripts/bench_population.py --check

@@ -34,6 +34,16 @@ Three sections:
   retained ballot memory, and a recorded (not gated) speedup of the
   vectorised adaptive-T dispersion scan, whose floats must match the
   scalar loop exactly.
+* **service** — the long-lived service mode (``repro.sim.service``)
+  at smoke scale: one shard run uninterrupted (in process, writing a
+  checkpoint per interval) versus the same shard run under the
+  supervisor, SIGKILLed mid-run and restarted from its last
+  checkpoint.  Gated: the killed-and-restored shard's final identity
+  state (summaries minus cache/memory telemetry, plus every node's
+  full state including RNG positions) must be **bit-identical** to the
+  uninterrupted run, and total checkpoint wall time must stay under
+  ``--max-checkpoint-overhead`` (default 10 %) of the shard's
+  wall-clock.
 * **million_peer_smoke** (``--full`` only) — a 1 000 000-peer churn
   trace run end-to-end through the real protocol stack under the SoA
   engine: completion is the gate, peers/sec is the trajectory metric.
@@ -608,12 +618,109 @@ def bench_million_peer_smoke(seed: int, n_peers: int = 1_000_000) -> dict:
     }
 
 
+def bench_service(seed: int, n_peers: int = 200) -> dict:
+    """Kill/restore bit-identity and checkpoint overhead at smoke scale.
+
+    Leg A runs one shard in process, uninterrupted, writing a real
+    checkpoint at every boundary (that leg times the checkpoint
+    overhead).  Leg B runs the same shard under the supervisor in a
+    worker process, SIGKILLs it after its first checkpoint, lets the
+    supervisor restart it from disk, and compares the final identity
+    state against leg A.
+    """
+    import shutil
+    import tempfile
+
+    from repro.sim.service import (
+        ServiceConfig,
+        ServiceShard,
+        ServiceSupervisor,
+        ShardConfig,
+    )
+
+    until = 24 * 3600.0
+    interval = 6 * 3600.0
+    # Smoke sizing: tick cadence high enough that protocol work (not
+    # serialisation) dominates the wall clock, like a loaded deployment.
+    shard_cfg = ShardConfig(
+        shard_id=0,
+        peers=n_peers,
+        seed=seed,
+        population_engine="soa",
+        columnar_state="on",
+        moderation_interval=120.0,
+        vote_interval=120.0,
+        bartercast_interval=600.0,
+        node=NodeConfig(b_max=50),
+    )
+    base = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    try:
+        # Leg A: uninterrupted, with real checkpoint writes.
+        ref = ServiceShard(shard_cfg)
+        ref.start()
+        t0 = time.perf_counter()
+        ref.run_service(until, interval, directory=base / "ref")
+        ref_wall = time.perf_counter() - t0
+        checkpoint_wall = ref.ops["checkpoint_wall_total"]
+        overhead = checkpoint_wall / ref_wall if ref_wall > 0 else 0.0
+
+        # Leg B: supervisor worker, SIGKILLed after its first
+        # checkpoint, restarted from disk by poll().
+        service_cfg = ServiceConfig(
+            shards=1, until=until, checkpoint_interval=interval, shard=shard_cfg
+        )
+        kill_dir = base / "kill"
+        restarts = 0
+        with ServiceSupervisor(service_cfg, kill_dir) as supervisor:
+            supervisor.start()
+            checkpoint_path = supervisor.shard_dir(0) / "checkpoint.json"
+            deadline = time.time() + 120.0
+            while time.time() < deadline:
+                if checkpoint_path.exists():
+                    try:
+                        saved = json.loads(
+                            checkpoint_path.read_text(encoding="utf-8")
+                        )
+                    except ValueError:  # mid-replace; retry
+                        saved = None
+                    if saved is not None and saved["sim"]["now"] >= interval:
+                        break
+                time.sleep(0.05)
+            supervisor.kill_shard(0)
+            supervisor.poll()
+            while not supervisor.done() and time.time() < deadline:
+                time.sleep(0.1)
+                supervisor.poll()
+            restarts = supervisor.status().totals["restarts"]
+        killed = ServiceShard.restore_from(shard_cfg, supervisor.shard_dir(0))
+        identical = killed.identity_state() == ref.identity_state()
+        checkpoints = int(ref.ops["checkpoints"])
+        return {
+            "n_peers": n_peers,
+            "sim_seconds": until,
+            "checkpoint_interval": interval,
+            "worker_restarts": restarts,
+            "kill_restore_identical": identical,
+            "checkpoints": checkpoints,
+            "checkpoint_bytes_mean": int(
+                ref.ops["checkpoint_bytes_total"] / max(1, checkpoints)
+            ),
+            "checkpoint_wall_s": round(checkpoint_wall, 3),
+            "run_wall_s": round(ref_wall, 3),
+            "checkpoint_overhead_fraction": round(overhead, 4),
+            "votes_merged": ref.runtime.node_counters()["votes_merged"],
+        }
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+
 def run(full: bool, seed: int, out: Path = None) -> dict:
     sections = {
         "engine_identity": bench_engine_identity(seed),
         "peers_per_sec": bench_peers_per_sec(seed),
         "columnar_state": bench_columnar_state(seed),
         "columnar_payloads": bench_columnar_payloads(seed),
+        "service": bench_service(seed),
     }
     if full:
         sections["million_peer_smoke"] = bench_million_peer_smoke(seed)
@@ -670,6 +777,13 @@ def main(argv=None) -> int:
         help="required reduction in measured retained ballot memory "
         "from packing vote payloads into columns (dict-layout bytes / "
         "packed-layout bytes on the vote-heavy scenario)",
+    )
+    parser.add_argument(
+        "--max-checkpoint-overhead",
+        type=float,
+        default=0.10,
+        help="maximum allowed fraction of shard wall-clock spent "
+        "writing checkpoints in the service section",
     )
     args = parser.parse_args(argv)
 
@@ -738,6 +852,23 @@ def main(argv=None) -> int:
         failures.append(
             "vectorised dispersion scan diverged from the scalar "
             "all_counts loop"
+        )
+    service = report["service"]
+    if not service["kill_restore_identical"]:
+        failures.append(
+            "a SIGKILLed service shard restored from its checkpoint "
+            "diverged from the uninterrupted run"
+        )
+    if service["worker_restarts"] != 1:
+        failures.append(
+            f"service supervisor logged {service['worker_restarts']} "
+            "restarts for the killed shard (expected exactly 1)"
+        )
+    if service["checkpoint_overhead_fraction"] > args.max_checkpoint_overhead:
+        failures.append(
+            f"checkpoint overhead {service['checkpoint_overhead_fraction']:.1%} "
+            f"> allowed {args.max_checkpoint_overhead:.0%} of shard "
+            f"wall-clock at {service['n_peers']} peers"
         )
     if capacity["speedup_gate_active"]:
         if capacity["speedup"] < args.min_speedup:

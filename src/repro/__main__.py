@@ -4,6 +4,7 @@
 
     python -m repro experiments fig6 --quick     → repro.experiments CLI
     python -m repro traces generate --out d/     → repro.traces CLI
+    python -m repro serve --shards 2 --dir d/    → long-lived service mode
     python -m repro version
 """
 
@@ -26,6 +27,10 @@ def main(argv=None) -> int:
         from repro.traces.__main__ import main as traces_main
 
         return traces_main(rest)
+    if command == "serve":
+        from repro.sim.serve_cli import main as serve_main
+
+        return serve_main(rest)
     if command == "version":
         from repro import __version__
 

@@ -13,7 +13,12 @@ client reboot would leave them.
 
 Format history
 --------------
-* **v2** (current): ballot-box state is saved *per voter*, oldest
+* **v3** (current): v2 plus ``"rng_state"`` — the node RNG's
+  ``bit_generator.state`` dict — so a restored node continues the
+  *same* random stream the saved node would have produced.  Earlier
+  formats restored with a fresh ``default_rng(0)`` unless the caller
+  passed an ``rng``, silently replaying a different stream.
+* **v2** (still loadable): ballot-box state is saved *per voter*, oldest
   received first, as ``{"voter", "last_received", "votes": [[moderator,
   vote, received_at], ...]}`` — both the per-vote ``received_at`` and
   the per-voter recency survive the round trip, so a restored box picks
@@ -29,7 +34,10 @@ Format history
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import os
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Union
 
@@ -41,11 +49,87 @@ from repro.core.node import NodeConfig, VoteSamplingNode
 from repro.core.votes import Vote, VoteEntry
 
 PathLike = Union[str, Path]
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 #: Formats :func:`node_from_dict` can still read (v1 loses ballot-box
-#: recency; see the module docstring's format history).
-_SUPPORTED_FORMATS = (1, 2)
+#: recency, v1/v2 lose the RNG stream; see the module docstring's
+#: format history).
+_SUPPORTED_FORMATS = (1, 2, 3)
+
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(NodeConfig))
+
+
+# ----------------------------------------------------------------------
+# RNG state round trip
+# ----------------------------------------------------------------------
+def rng_state_to_jsonable(rng: np.random.Generator) -> Dict[str, Any]:
+    """The generator's ``bit_generator.state`` as plain JSON types.
+
+    PCG64 state is already JSON-clean (Python ints); MT19937 and
+    friends embed ndarrays, which become lists here.
+    """
+
+    def _clean(value: Any) -> Any:
+        if isinstance(value, dict):
+            return {k: _clean(v) for k, v in value.items()}
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        if isinstance(value, np.integer):
+            return int(value)
+        return value
+
+    return _clean(dict(rng.bit_generator.state))
+
+
+def generator_from_state(state: Dict[str, Any]) -> np.random.Generator:
+    """A generator positioned exactly at a saved bit-generator state."""
+    name = state.get("bit_generator")
+    cls = getattr(np.random, str(name), None)
+    if cls is None:
+        raise ValueError(f"unknown bit generator {name!r} in rng_state")
+    bit_gen = cls()
+    bit_gen.state = state
+    return np.random.Generator(bit_gen)
+
+
+def _config_from_dict(data: Dict[str, Any]) -> NodeConfig:
+    """Build a :class:`NodeConfig` from a checkpoint's config payload.
+
+    Checkpoints written by newer builds may carry config fields this
+    build does not know; those are skipped with a warning instead of
+    crashing the restore with an opaque ``TypeError``.  Missing fields
+    fall back to the dataclass defaults.
+    """
+    known = {k: v for k, v in data.items() if k in _CONFIG_FIELDS}
+    ignored = sorted(set(data) - _CONFIG_FIELDS)
+    if ignored:
+        warnings.warn(
+            "node-state config has unknown fields (written by a newer "
+            f"build?), ignoring: {', '.join(ignored)}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return NodeConfig(**known)
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp +
+    ``os.replace``), so readers see either the old contents or the new
+    — never a torn prefix."""
+    target = Path(path)
+    tmp = target.with_name(f".{target.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    finally:
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - cleanup best effort
+                pass
 
 
 def node_to_dict(node: VoteSamplingNode) -> Dict[str, Any]:
@@ -99,6 +183,7 @@ def node_to_dict(node: VoteSamplingNode) -> Dict[str, Any]:
         "ballot": ballot,
         "topk_lists": node.topk_cache.lists(),
         "intentions": {m: int(v) for m, v in node.vote_intentions.items()},
+        "rng_state": rng_state_to_jsonable(node.rng),
     }
 
 
@@ -109,8 +194,14 @@ def node_from_dict(
 ) -> VoteSamplingNode:
     """Reconstruct a node from :func:`node_to_dict` output.
 
-    Reads the current v2 format and legacy v1; a v1 restore loses
+    Reads the current v3 format and legacy v2/v1; a v1 restore loses
     ballot-box recency (see the module docstring's format history).
+
+    The node's RNG comes from (highest priority first): the explicit
+    ``rng`` argument (legacy callers that manage their own streams),
+    the payload's saved ``rng_state`` (v3+), else ``default_rng(0)``
+    — the historical fallback, kept for old saves only.
+
     Pass ``col_store`` to restore into a column-backed node — the
     save format is backing-agnostic (everything goes through the
     public BallotBox API), so dict-state saves restore into columnar
@@ -121,11 +212,17 @@ def node_from_dict(
     fmt = data.get("format")
     if fmt not in _SUPPORTED_FORMATS:
         raise ValueError(f"unsupported node-state format {fmt!r}")
-    config = NodeConfig(**data["config"])
+    config = _config_from_dict(data["config"])
+    if rng is None:
+        saved_state = data.get("rng_state")
+        if saved_state is not None:
+            rng = generator_from_state(saved_state)
+        else:
+            rng = np.random.default_rng(0)
     node = VoteSamplingNode(
         data["peer_id"],
         config,
-        rng if rng is not None else np.random.default_rng(0),
+        rng,
         col_store=col_store,
     )
     for rec in data["moderations"]:
@@ -171,12 +268,22 @@ def node_from_dict(
 
 
 def save_node(node: VoteSamplingNode, path: PathLike) -> None:
-    """Persist the node's durable state to ``path`` (JSON)."""
-    Path(path).write_text(json.dumps(node_to_dict(node)), encoding="utf-8")
+    """Persist the node's durable state to ``path`` (JSON).
+
+    The write is atomic: a crash mid-save leaves the previous
+    checkpoint readable instead of a torn JSON prefix."""
+    atomic_write_text(path, json.dumps(node_to_dict(node)))
 
 
 def load_node(
-    path: PathLike, rng: Union[np.random.Generator, None] = None
+    path: PathLike,
+    rng: Union[np.random.Generator, None] = None,
+    col_store: Union[ColumnarStateStore, None] = None,
 ) -> VoteSamplingNode:
-    """Restore a node persisted by :func:`save_node`."""
-    return node_from_dict(json.loads(Path(path).read_text(encoding="utf-8")), rng)
+    """Restore a node persisted by :func:`save_node`.
+
+    ``col_store`` is forwarded to :func:`node_from_dict`, so on-disk
+    checkpoints restore into columnar-backed nodes too."""
+    return node_from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8")), rng, col_store=col_store
+    )

@@ -491,6 +491,60 @@ class ProtocolRuntime:
         return total / 3600.0
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def materialize_population(self) -> PopulationEngine:
+        """Force-create the SoA scheduler (checkpoint-restore API).
+
+        Restore paths pre-populate :attr:`nodes` directly and then
+        replay the scheduler columns, so the lazy first-peer-online
+        construction never happens; this exposes it explicitly.  Only
+        valid when the runtime resolved ``population_engine="soa"``.
+        """
+        if self.population_engine != "soa":
+            raise RuntimeError("materialize_population requires the soa engine")
+        return self._population_scheduler()
+
+    def counters_state(self) -> Dict[str, object]:
+        """Run-level counters (not owned by any node) as JSON-clean
+        state: traffic meter, drop count, online-time accounting and
+        the BarterCast exchange counter.  Cache hit/miss telemetry is
+        deliberately excluded — a restarted process starts cold, and
+        cache warmth is performance state, not protocol state."""
+        return {
+            "traffic": {
+                name: {
+                    "exchanges": counter.exchanges,
+                    "items": counter.items,
+                    "item_bytes": counter.item_bytes,
+                }
+                for name, counter in self.traffic.counters.items()
+            },
+            "dropped_exchanges": self.dropped_exchanges,
+            "online_seconds": self._online_seconds,
+            "online_since": dict(self._online_since),
+            "bartercast_exchanges": self.bartercast.exchanges,
+        }
+
+    def restore_counters(self, state: Dict[str, object]) -> None:
+        """Adopt a :meth:`counters_state` snapshot (saved dict order is
+        preserved so float summaries reduce in the same order)."""
+        meter = TrafficMeter()
+        for name, rec in state["traffic"].items():  # type: ignore[union-attr]
+            counter = meter._get(name)
+            counter.exchanges = int(rec["exchanges"])
+            counter.items = int(rec["items"])
+            counter.item_bytes = float(rec["item_bytes"])
+        self.traffic = meter
+        self.dropped_exchanges = int(state["dropped_exchanges"])  # type: ignore[arg-type]
+        self._online_seconds = float(state["online_seconds"])  # type: ignore[arg-type]
+        self._online_since = {
+            peer: float(since)
+            for peer, since in state["online_since"].items()  # type: ignore[union-attr]
+        }
+        self.bartercast.exchanges = int(state["bartercast_exchanges"])  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
     # Ticks
     # ------------------------------------------------------------------
     def _partner_for(self, peer_id: str) -> Optional[VoteSamplingNode]:

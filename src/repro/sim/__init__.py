@@ -11,6 +11,13 @@ streams derived from a single root seed.
 from repro.sim.engine import Engine, EventHandle, SimulationError
 from repro.sim.process import PeriodicProcess
 from repro.sim.rng import RngRegistry
+from repro.sim.service import (
+    ServiceConfig,
+    ServiceShard,
+    ServiceStatus,
+    ServiceSupervisor,
+    ShardConfig,
+)
 from repro.sim.units import DAY, GIB, HOUR, KIB, MB, MIB, MINUTE, SECOND
 
 __all__ = [
@@ -19,6 +26,11 @@ __all__ = [
     "SimulationError",
     "PeriodicProcess",
     "RngRegistry",
+    "ServiceConfig",
+    "ServiceShard",
+    "ServiceStatus",
+    "ServiceSupervisor",
+    "ShardConfig",
     "SECOND",
     "MINUTE",
     "HOUR",

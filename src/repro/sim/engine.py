@@ -226,6 +226,70 @@ class Engine:
             self._auto_compactions += 1
         return handle
 
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def restore_clock(
+        self,
+        now: float,
+        seq: Optional[int] = None,
+        events_fired: Optional[int] = None,
+    ) -> None:
+        """Reposition the clock (and optionally the seq/event counters)
+        at a checkpointed state.
+
+        Checkpoint-restore API: only valid on an engine whose queue is
+        still empty — restore the clock first, then replay pending
+        entries with :meth:`restore_event`.
+        """
+        if self._queue:
+            raise SimulationError("restore_clock requires an empty queue")
+        self._now = float(now)
+        if seq is not None:
+            self._seq = int(seq)
+        if events_fired is not None:
+            self._events_fired = int(events_fired)
+
+    def restore_event(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> EventHandle:
+        """Re-insert a checkpointed pending entry with its **original**
+        ``(time, priority, seq)`` key.
+
+        Unlike :meth:`schedule_at` this does not consume a fresh seq —
+        the caller restored the counter via :meth:`restore_clock`, and
+        every replayed entry must sort exactly where it did in the
+        saved run.  ``seq`` must have been claimed before the
+        checkpoint (i.e. be ``<=`` the restored counter).
+        """
+        if seq > self._seq:
+            raise SimulationError(
+                f"restore_event seq {seq} is ahead of the engine counter "
+                f"{self._seq}; restore_clock first"
+            )
+        handle = EventHandle(time, callback, tuple(args), self)
+        heapq.heappush(self._queue, (time, priority, seq, handle))
+        return handle
+
+    def live_entries(self) -> List[Tuple[float, int, int, EventHandle]]:
+        """Snapshot of non-cancelled queue entries in heap-key order.
+
+        Checkpoint API: callers map each handle back to the object that
+        owns it (periodic process, session round) and persist the
+        ``(time, priority, seq)`` key so :meth:`restore_event` can
+        replay it bit-identically.  Source-held events are not included
+        — the source checkpoints its own schedule.
+        """
+        return sorted(
+            (entry for entry in self._queue if not entry[3].cancelled),
+            key=lambda entry: entry[:3],
+        )
+
     def claim_seq(self) -> int:
         """Reserve the next insertion-order slot without a heap entry.
 

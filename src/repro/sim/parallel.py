@@ -327,6 +327,11 @@ def _ensure_child_importable() -> None:
         )
 
 
+#: Public aliases: the long-lived service mode (``repro.sim.service``)
+#: reuses this module's spawn-safety plumbing for its shard workers.
+ensure_child_importable = _ensure_child_importable
+
+
 def _spawn_main_is_reimportable() -> bool:
     """Whether spawn children can safely re-prepare ``__main__``.
 
@@ -347,6 +352,10 @@ def _spawn_main_is_reimportable() -> bool:
     if path is None:
         return True
     return os.path.exists(path)
+
+
+#: Public alias for the service supervisor's spawn-capability probe.
+spawn_main_is_reimportable = _spawn_main_is_reimportable
 
 
 # ----------------------------------------------------------------------

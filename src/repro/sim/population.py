@@ -898,6 +898,96 @@ class PopulationEngine:
             self._jit_pos[row] += c
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def schedule_state(self) -> Dict[str, object]:
+        """The scheduler's full pending state as JSON-clean types.
+
+        Pairs with :meth:`restore_schedule_state`: restoring this dict
+        (plus the registry's stream states, saved separately) replays
+        the remaining run bit-identically — per-row next-tick times and
+        seqs, the pre-drawn jitter buffers with their cursors, online
+        flags/since-stamps, and the telemetry counters.  Must not be
+        called from inside a running batch.
+        """
+        if self._inflight is not None:
+            raise RuntimeError("cannot checkpoint mid-batch")
+        if len(self._online) != len(self._ids):
+            self._sync_rows()
+        n = len(self._ids)
+        return {
+            "names": list(self._names),
+            "ids": list(self._ids),
+            "online": [bool(flag) for flag in self._online],
+            "online_since": self._online_since[:n].tolist(),
+            "next": [col[:n].tolist() for col in self._next],
+            "seq": [col[:n].tolist() for col in self._seq],
+            "jit_pos": self._jit_pos[:n].tolist(),
+            "jit_buf": self._jit_buf[:n].tolist(),
+            "ticks_by_protocol": list(self.ticks_by_protocol),
+            "batches": self.batches,
+            "max_batch_size": self.max_batch_size,
+            "completed_session_seconds": self.completed_session_seconds,
+        }
+
+    def restore_schedule_state(self, state: Dict[str, object]) -> None:
+        """Adopt a :meth:`schedule_state` snapshot.
+
+        Rows are matched (or created) in saved order, so restored row
+        numbers equal saved ones; block minima are rebuilt from the
+        restored columns.  Jitter streams stay lazy — they re-resolve
+        against the registry, whose stream states the caller restores
+        before ticking resumes.
+        """
+        names = list(state["names"])  # type: ignore[arg-type]
+        if names != self._names:
+            raise ValueError(
+                f"protocol mismatch: checkpoint has {names}, engine has "
+                f"{self._names}"
+            )
+        ids = list(state["ids"])  # type: ignore[arg-type]
+        if len(self._online) != len(self._ids):
+            self._sync_rows()
+        for i, peer_id in enumerate(ids):
+            row = self._index.get(peer_id)
+            if row is None:
+                row = self._add_peer(peer_id)
+            if row != i:
+                raise ValueError(
+                    f"row mismatch on restore: {peer_id!r} is row {row}, "
+                    f"checkpoint expects {i}"
+                )
+        n = len(ids)
+        online = state["online"]
+        for i in range(n):
+            self._online[i] = bool(online[i])  # type: ignore[index]
+        self._online_since[:n] = np.asarray(
+            state["online_since"], dtype=np.float64
+        )
+        for p in range(len(self._next)):
+            self._next[p][:n] = np.asarray(state["next"][p], dtype=np.float64)  # type: ignore[index]
+            self._seq[p][:n] = np.asarray(state["seq"][p], dtype=np.int64)  # type: ignore[index]
+            # Rebuild the block minima from the restored column (the
+            # tail beyond n is _INF from _grow).
+            col = self._next[p]
+            starts = np.arange(0, col.size, _BLOCK)
+            mins = np.minimum.reduceat(col, starts) if col.size else col
+            self._bmin[p][: mins.size] = mins
+        self._jit_pos[:n] = np.asarray(state["jit_pos"], dtype=np.int64)
+        self._jit_buf[:n] = np.asarray(state["jit_buf"], dtype=np.float64)
+        self.ticks_by_protocol = [int(t) for t in state["ticks_by_protocol"]]  # type: ignore[union-attr]
+        self.batches = int(state["batches"])  # type: ignore[arg-type]
+        self.max_batch_size = int(state["max_batch_size"])  # type: ignore[arg-type]
+        self.completed_session_seconds = float(
+            state["completed_session_seconds"]  # type: ignore[arg-type]
+        )
+        self._inflight = None
+        self._inflight_reconciled = set()
+        self._churn_epoch += 1
+        self._write_epoch += 1
+        self._peek_epoch = -1
+
+    # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:

@@ -11,7 +11,7 @@ promise three ways:
 * an eviction-victim regression against a from-first-principles
   min-recency-scan model (the semantics the amortised recency-ordered
   implementation replaced);
-* FORMAT_VERSION 2 persistence round trips across all four
+* FORMAT_VERSION persistence round trips across all four
   backing combinations (dict/columnar save → dict/columnar restore).
 """
 
@@ -24,7 +24,7 @@ import pytest
 from repro.core.ballotbox import BallotBox
 from repro.core.columnar import ColumnarBallotBox, ColumnarStateStore, RowTable
 from repro.core.node import NodeConfig, VoteSamplingNode
-from repro.core.persistence import node_from_dict, node_to_dict
+from repro.core.persistence import FORMAT_VERSION, node_from_dict, node_to_dict
 from repro.core.votes import Vote, VoteEntry
 
 VOTES = (Vote.POSITIVE, Vote.NEGATIVE)
@@ -220,7 +220,7 @@ def test_memory_bytes_counts_columns():
 
 
 # ----------------------------------------------------------------------
-# FORMAT_VERSION 2 persistence across backings
+# FORMAT_VERSION persistence across backings
 # ----------------------------------------------------------------------
 def _populated_node(col_store=None) -> VoteSamplingNode:
     node = VoteSamplingNode(
@@ -251,9 +251,9 @@ def _populated_node(col_store=None) -> VoteSamplingNode:
     return node
 
 
-def test_format_v2_round_trip_across_backings():
+def test_format_round_trip_across_backings():
     base = node_to_dict(_populated_node())
-    assert base["format"] == 2
+    assert base["format"] == FORMAT_VERSION
     for src_store in (None, ColumnarStateStore()):
         saved = node_to_dict(_populated_node(src_store))
         assert saved == base  # backing never leaks into the format

@@ -156,3 +156,140 @@ def test_v1_format_still_loads(populated_node):
     # The caveat: all recency is gone, voters sit in alphabetical order.
     assert restored.ballot_box.voters_by_recency() == ["v1", "v2"]
     assert restored.ballot_box.last_received_of("v1") == 0.0
+
+
+# ----------------------------------------------------------------------
+# Columnar restore through load_node (bugfix regression)
+# ----------------------------------------------------------------------
+def test_load_node_restores_into_columnar_store(populated_node, tmp_path):
+    """Regression: load_node dropped the col_store parameter that
+    node_from_dict supports, so an on-disk checkpoint could never be
+    restored into a columnar-backed node."""
+    from repro.core.columnar import ColumnarStateStore
+
+    path = tmp_path / "node.json"
+    save_node(populated_node, path)
+    store = ColumnarStateStore()
+    restored = load_node(path, col_store=store)
+    assert "me" in store.rows.index
+    assert store.vl_size[store.rows.index["me"]] == len(
+        populated_node.vote_list.entries()
+    )
+    assert node_to_dict(restored) == node_to_dict(populated_node)
+
+
+# ----------------------------------------------------------------------
+# Atomic checkpoint writes (bugfix regression)
+# ----------------------------------------------------------------------
+def test_partial_write_preserves_previous_checkpoint(
+    populated_node, tmp_path, monkeypatch
+):
+    """Regression: save_node wrote with a bare Path.write_text, so a
+    crash mid-write left a torn JSON prefix in place of the previous
+    checkpoint.  The write layer below is made to fail after 20 bytes;
+    the on-disk checkpoint must survive intact."""
+    import builtins
+    import io
+
+    path = tmp_path / "node.json"
+    save_node(populated_node, path)
+    before = path.read_text(encoding="utf-8")
+    populated_node.cast_vote("late-mod", Vote.POSITIVE, 99.0)
+
+    real_open = builtins.open
+
+    def torn_open(file, mode="r", *args, **kwargs):
+        fh = real_open(file, mode, *args, **kwargs)
+        if isinstance(mode, str) and "w" in mode:
+            class TornFile:
+                def write(self, text):
+                    fh.write(text[:20])
+                    fh.flush()
+                    raise OSError("disk full")
+
+                def __enter__(self):
+                    return self
+
+                def __exit__(self, *exc_info):
+                    fh.close()
+                    return False
+
+                def __getattr__(self, name):
+                    return getattr(fh, name)
+
+            return TornFile()
+        return fh
+
+    with monkeypatch.context() as patch:
+        patch.setattr(builtins, "open", torn_open)
+        patch.setattr(io, "open", torn_open)
+        with pytest.raises(OSError, match="disk full"):
+            save_node(populated_node, path)
+
+    assert path.read_text(encoding="utf-8") == before
+    restored = load_node(path)
+    assert restored.vote_list.vote_on("late-mod") is None
+    # No temp-file litter left behind by the failed attempt.
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["node.json"]
+
+
+# ----------------------------------------------------------------------
+# RNG stream persistence (bugfix regression)
+# ----------------------------------------------------------------------
+def test_rng_stream_survives_restore(tmp_path):
+    """Regression: node_from_dict fell back to default_rng(0), so a
+    "restored" node replayed a different random series than the node
+    that was saved would have continued."""
+    node = VoteSamplingNode("me", NodeConfig(), np.random.default_rng(1234))
+    node.rng.random(17)  # advance mid-run
+    path = tmp_path / "node.json"
+    save_node(node, path)
+    expected = node.rng.random(8)  # the uninterrupted continuation
+    restored = load_node(path)
+    assert np.array_equal(restored.rng.random(8), expected)
+
+
+def test_explicit_rng_override_still_wins(populated_node, tmp_path):
+    path = tmp_path / "node.json"
+    save_node(populated_node, path)
+    override = np.random.default_rng(5)
+    restored = load_node(path, rng=override)
+    assert restored.rng is override
+
+
+def test_v2_payload_without_rng_state_uses_legacy_fallback(populated_node):
+    data = node_to_dict(populated_node)
+    data = {k: v for k, v in data.items() if k != "rng_state"}
+    data["format"] = 2
+    restored = node_from_dict(data)
+    assert np.array_equal(
+        restored.rng.random(4), np.random.default_rng(0).random(4)
+    )
+
+
+def test_format_is_v3_with_rng_state(populated_node):
+    data = node_to_dict(populated_node)
+    assert data["format"] == 3
+    assert data["rng_state"]["bit_generator"] == "PCG64"
+
+
+# ----------------------------------------------------------------------
+# Forward-compatible config payloads (bugfix regression)
+# ----------------------------------------------------------------------
+def test_unknown_config_key_warns_and_is_ignored(populated_node):
+    """Regression: NodeConfig(**data["config"]) crashed older readers
+    with an opaque TypeError when a newer build added a config field."""
+    data = node_to_dict(populated_node)
+    data["config"] = dict(data["config"], future_knob=11, other_knob="x")
+    with pytest.warns(RuntimeWarning, match="future_knob, other_knob"):
+        restored = node_from_dict(data)
+    assert restored.config == populated_node.config
+
+
+def test_missing_config_key_uses_dataclass_default(populated_node):
+    data = node_to_dict(populated_node)
+    config = dict(data["config"])
+    del config["k"]
+    data["config"] = config
+    restored = node_from_dict(data)
+    assert restored.config.k == NodeConfig().k
