@@ -37,7 +37,14 @@ bench:
 # restarted by the supervisor from its last checkpoint must finish
 # bit-identical to the same shard never interrupted (node states,
 # RNG positions, summaries), with checkpoint overhead <= 10% of the
-# shard's wall time.  Also runs the dead-statement lint.  Writes
+# shard's wall time.  The aggregation section gates the inter-shard
+# DHT digest exchange: a 4-shard lockstep cluster with one shard
+# killed after a checkpoint and restored must finish bit-identical to
+# the never-interrupted cluster (all four shards — aggregation couples
+# them), and the aggregated cluster's worst cross-shard top-K rank
+# distance must beat the isolated-shard baseline at a bounded DHT
+# cost (<= 16 routed messages per digest published or pulled).
+# Also runs the dead-statement lint.  Writes
 # BENCH_contribution.json and BENCH_population.json so the perf
 # trajectory accumulates per PR.
 bench-smoke: lint-deadcode

@@ -44,6 +44,16 @@ Three sections:
   uninterrupted run, and total checkpoint wall time must stay under
   ``--max-checkpoint-overhead`` (default 10 %) of the shard's
   wall-clock.
+* **aggregation** — the inter-shard DHT aggregation path
+  (``repro.sim.aggregation``) at smoke scale: a 4-shard lockstep
+  cluster exchanging ballot digests over the Chord ring.  Gated: (a) a
+  shard discarded after a checkpoint and restored from disk replays
+  **bit-identically** against the never-interrupted cluster — for all
+  four shards, since aggregation couples them; (b) the aggregated
+  cluster's worst cross-shard top-K rank distance must land strictly
+  below the isolated-shard baseline (shards that never exchange
+  digests), at no more than ``--max-dht-messages-per-digest`` routed
+  DHT messages per digest published or pulled.
 * **million_peer_smoke** (``--full`` only) — a 1 000 000-peer churn
   trace run end-to-end through the real protocol stack under the SoA
   engine: completion is the gate, peers/sec is the trajectory metric.
@@ -714,6 +724,112 @@ def bench_service(seed: int, n_peers: int = 200) -> dict:
         shutil.rmtree(base, ignore_errors=True)
 
 
+def bench_aggregation(seed: int, n_peers: int = 80, shards: int = 4) -> dict:
+    """Inter-shard aggregation gates: convergence and crash replay.
+
+    One reference cluster runs uninterrupted; a second cluster is run
+    to the mid-run boundary, has one shard discarded and restored from
+    its checkpoint (the in-process kill -9 analogue — the digest board
+    survives, like the overlay would), and continues.  Both must end
+    bit-identical, shard by shard.  An isolated control (same shards,
+    aggregation off) supplies the convergence baseline.
+    """
+    import shutil
+    import tempfile
+
+    from repro.sim.aggregation import (
+        AggregationConfig,
+        ShardCluster,
+        max_cross_shard_rank_distance,
+    )
+    from repro.sim.service import ServiceConfig, ServiceShard, ShardConfig
+
+    until = 8 * 3600.0
+    interval = 3600.0
+    top_k = 8
+    aggregation = AggregationConfig(
+        shards=shards, max_votes_per_interval=200, merge_fanout=2
+    )
+    shard_cfg = ShardConfig(
+        peers=n_peers,
+        seed=seed,
+        moderators=4,
+        population_engine="soa",
+        columnar_state="on",
+        node=NodeConfig(b_max=40),
+        aggregation=aggregation,
+    )
+    config = ServiceConfig(
+        shards=shards, until=until, checkpoint_interval=interval, shard=shard_cfg
+    )
+    base = Path(tempfile.mkdtemp(prefix="bench-aggregation-"))
+    try:
+        t0 = time.perf_counter()
+        reference = ShardCluster(config, directory=base / "ref")
+        reference.run()
+        ref_wall = time.perf_counter() - t0
+
+        crashed = ShardCluster(config, directory=base / "crashed")
+        crashed.run(until=until / 2)
+        crashed.restore_shard(shards - 1)
+        crashed.run()
+        identical = all(
+            crashed.shards[i].identity_state()
+            == reference.shards[i].identity_state()
+            for i in range(shards)
+        )
+
+        from dataclasses import replace as _replace
+
+        isolated_cfg = ServiceConfig(
+            shards=shards,
+            until=until,
+            checkpoint_interval=interval,
+            shard=_replace(shard_cfg, aggregation=None),
+        )
+        isolated = []
+        for shard_id in range(shards):
+            shard = ServiceShard(isolated_cfg.shard_config(shard_id))
+            shard.start()
+            shard.run_service(until, interval)
+            isolated.append(shard)
+
+        aggregated_distance = max_cross_shard_rank_distance(
+            reference.shards, top_k
+        )
+        isolated_distance = max_cross_shard_rank_distance(isolated, top_k)
+        ops = [dict(shard.aggregator.ops) for shard in reference.shards]
+        dht_messages = sum(o["dht_messages"] for o in ops)
+        digest_ops = sum(
+            o["digests_published"] + o["digests_pulled"] for o in ops
+        )
+        return {
+            "shards": shards,
+            "peers_per_shard": n_peers,
+            "sim_seconds": until,
+            "checkpoint_interval": interval,
+            "top_k": top_k,
+            "kill_restore_identical": identical,
+            "restores": int(crashed.shards[shards - 1].ops["restores"]),
+            "aggregated_rank_distance": round(aggregated_distance, 4),
+            "isolated_rank_distance": round(isolated_distance, 4),
+            "digests_published": int(sum(o["digests_published"] for o in ops)),
+            "digests_pulled": int(sum(o["digests_pulled"] for o in ops)),
+            "dht_messages": int(dht_messages),
+            "dht_messages_per_digest": round(
+                dht_messages / digest_ops if digest_ops else 0.0, 2
+            ),
+            "dht_timeouts": int(sum(o["timeouts"] for o in ops)),
+            "remote_votes_merged": int(
+                sum(o["remote_votes_merged"] for o in ops)
+            ),
+            "merge_lag_votes": int(sum(o["pending_votes"] for o in ops)),
+            "run_wall_s": round(ref_wall, 3),
+        }
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+
 def run(full: bool, seed: int, out: Path = None) -> dict:
     sections = {
         "engine_identity": bench_engine_identity(seed),
@@ -721,6 +837,7 @@ def run(full: bool, seed: int, out: Path = None) -> dict:
         "columnar_state": bench_columnar_state(seed),
         "columnar_payloads": bench_columnar_payloads(seed),
         "service": bench_service(seed),
+        "aggregation": bench_aggregation(seed),
     }
     if full:
         sections["million_peer_smoke"] = bench_million_peer_smoke(seed)
@@ -784,6 +901,14 @@ def main(argv=None) -> int:
         default=0.10,
         help="maximum allowed fraction of shard wall-clock spent "
         "writing checkpoints in the service section",
+    )
+    parser.add_argument(
+        "--max-dht-messages-per-digest",
+        type=float,
+        default=16.0,
+        help="maximum routed DHT messages per digest published or "
+        "pulled in the aggregation section (lookup hops, stores, "
+        "fetches, timeout retries)",
     )
     args = parser.parse_args(argv)
 
@@ -869,6 +994,33 @@ def main(argv=None) -> int:
             f"checkpoint overhead {service['checkpoint_overhead_fraction']:.1%} "
             f"> allowed {args.max_checkpoint_overhead:.0%} of shard "
             f"wall-clock at {service['n_peers']} peers"
+        )
+    aggregation = report["aggregation"]
+    if not aggregation["kill_restore_identical"]:
+        failures.append(
+            "a shard restored from its checkpoint mid-run diverged from "
+            "the never-interrupted aggregating cluster"
+        )
+    if aggregation["restores"] != 1:
+        failures.append(
+            f"aggregation crash leg logged {aggregation['restores']} "
+            "restores for the killed shard (expected exactly 1)"
+        )
+    if not (
+        aggregation["aggregated_rank_distance"]
+        < aggregation["isolated_rank_distance"]
+    ):
+        failures.append(
+            f"aggregated cross-shard rank distance "
+            f"{aggregation['aggregated_rank_distance']} did not improve "
+            f"on the isolated baseline "
+            f"{aggregation['isolated_rank_distance']}"
+        )
+    if aggregation["dht_messages_per_digest"] > args.max_dht_messages_per_digest:
+        failures.append(
+            f"aggregation paid {aggregation['dht_messages_per_digest']} "
+            f"DHT messages per digest op > allowed "
+            f"{args.max_dht_messages_per_digest}"
         )
     if capacity["speedup_gate_active"]:
         if capacity["speedup"] < args.min_speedup:

@@ -76,20 +76,35 @@ class PushSumAggregation:
         rng: np.random.Generator,
         liars: Sequence[str] = (),
         lie_value: float = 100.0,
+        include_liars: bool = False,
     ):
         if not values:
             raise ValueError("population must be non-empty")
-        unknown = set(liars) - set(values)
+        liar_set = set(liars)
+        unknown = liar_set - set(values)
         if unknown:
             raise ValueError(f"liars not in population: {unknown}")
         self.rng = rng
         self.nodes: Dict[str, PushSumNode] = {
             nid: PushSumNode(
-                nid, v, lie_value=lie_value if nid in liars else None
+                nid, v, lie_value=lie_value if nid in liar_set else None
             )
             for nid, v in values.items()
         }
-        self.true_average = float(np.mean(list(values.values())))
+        # Ground truth is the *honest* average — mean_absolute_error /
+        # max_estimate_shift promise liars' fabrications are excluded.
+        # ``include_liars=True`` keeps the old all-values average for
+        # experiments that depend on it.
+        if include_liars:
+            truth_pool = list(values.values())
+        else:
+            truth_pool = [v for nid, v in values.items() if nid not in liar_set]
+            if not truth_pool:
+                raise ValueError(
+                    "every node lies: no honest ground truth "
+                    "(pass include_liars=True for the all-values average)"
+                )
+        self.true_average = float(np.mean(truth_pool))
         self.rounds_run = 0
 
     def run_round(self) -> None:

@@ -232,6 +232,22 @@ class BallotBox:
             total += sys.getsizeof(seq)
         return total
 
+    def export_digest(self) -> List[Tuple[str, str, int, float]]:
+        """Every stored vote as flat ``(voter, moderator, vote,
+        received_at)`` rows, sorted by ``(voter, moderator)``.
+
+        The inter-shard aggregation path serializes ballot samples
+        from here; the sort makes the export independent of dict
+        insertion/recency order, so the dict and columnar backings
+        produce byte-identical digests for equal box contents."""
+        rows = [
+            (voter, moderator, int(vote), received_at)
+            for voter, votes in self._votes.items()
+            for moderator, (vote, received_at) in votes.items()
+        ]
+        rows.sort(key=lambda r: (r[0], r[1]))
+        return rows
+
     def score(self, moderator_id: str) -> int:
         """Summation score: positives − negatives."""
         pos, neg = self.counts(moderator_id)

@@ -718,6 +718,34 @@ class ColumnarStateStore:
         p = pos[mask] / tot[mask]
         return float((4.0 * p * (1.0 - p)).max())
 
+    def bb_export_digest(
+        self, owner_row: int
+    ) -> List[Tuple[str, str, int, float]]:
+        """Every stored vote of one box as flat ``(voter, moderator,
+        vote, received_at)`` rows sorted by ``(voter, moderator)`` —
+        the columnar side of :meth:`BallotBox.export_digest`, gathered
+        straight from the packed payload slabs."""
+        box = self._box_of[owner_row]
+        if box < 0:
+            return []
+        mod_ids = self.mods.ids
+        row_ids = self.rows.ids
+        out: List[Tuple[str, str, int, float]] = []
+        for vrow, slot in self._slots[box].items():
+            voter = row_ids[vrow]
+            off = int(self.bb_off[box, slot])
+            end = off + int(self.bb_nvotes[box, slot])
+            out.extend(
+                (voter, mod_ids[m], int(v), float(a))
+                for m, v, a in zip(
+                    self._pay_mod[box][off:end].tolist(),
+                    self._pay_val[box][off:end].tolist(),
+                    self._pay_at[box][off:end].tolist(),
+                )
+            )
+        out.sort(key=lambda r: (r[0], r[1]))
+        return out
+
     def bb_last_received(self, owner_row: int, voter: str) -> float:
         box, slot = self._slot_of(owner_row, voter)
         return 0.0 if box < 0 else float(self.bb_last[box, slot])
@@ -872,6 +900,9 @@ class ColumnarBallotBox(BallotBox):
 
     def vote_of(self, voter: str, moderator_id: str):
         return self._store.bb_vote_of(self._row, voter, moderator_id)
+
+    def export_digest(self) -> List[Tuple[str, str, int, float]]:
+        return self._store.bb_export_digest(self._row)
 
     def dispersion(self) -> float:
         return self._store.bb_dispersion(self._row)

@@ -56,8 +56,11 @@ class _Node:
     def __init__(self, name: str, ident: int):
         self.name = name
         self.ident = ident
-        #: finger i targets (ident + 2^i); stores the node ident found
-        self.fingers: List[int] = []
+        #: finger i targets (ident + 2^i); stores ``(ident, name)`` of
+        #: the node found.  The name disambiguates liveness: a linear-
+        #: probed collision ident can be *recycled* by a later joiner,
+        #: so a bare ident cannot tell a dead finger from its impostor.
+        self.fingers: List[Tuple[int, str]] = []
         self.fingers_built_at = -1.0
 
 
@@ -89,17 +92,20 @@ class ChordRing:
         ident = chord_id(name, self.config.bits)
         while ident in self._by_ident:  # collision: linear probe
             ident = (ident + 1) % (1 << self.config.bits)
+        # m finger-init lookups over the *existing* ring (before the
+        # newcomer is inserted), each routed from the joining node's
+        # successor — the node that introduces it to the ring.
+        if self._ring:
+            start = self._successor_ident(ident)
+            for i in range(self.config.bits):
+                target = (ident + (1 << i)) % (1 << self.config.bits)
+                hops = self._route_hops(target, start=start)
+                self.join_messages += max(1, hops)
+            self.join_messages += 1  # key transfer from successor
         node = _Node(name, ident)
         self._nodes[name] = node
         insort(self._ring, ident)
         self._by_ident[ident] = name
-        # m finger-init lookups over the *existing* ring.
-        if len(self._ring) > 1:
-            for i in range(self.config.bits):
-                target = (ident + (1 << i)) % (1 << self.config.bits)
-                hops = self._route_hops(target)
-                self.join_messages += max(1, hops)
-            self.join_messages += 1  # key transfer from successor
         self._build_fingers(node, now)
 
     def leave(self, name: str, now: float, graceful: bool = False) -> None:
@@ -137,7 +143,8 @@ class ChordRing:
             return
         for i in range(self.config.bits):
             target = (node.ident + (1 << i)) % (1 << self.config.bits)
-            node.fingers.append(self._successor_ident(target))
+            ident = self._successor_ident(target)
+            node.fingers.append((ident, self._by_ident[ident]))
         node.fingers_built_at = now
 
     def _successor_ident(self, target: int) -> int:
@@ -198,8 +205,9 @@ class ChordRing:
                 idx = min(max(0, step.bit_length() - 1), len(fingers) - 1)
                 stale = fingers[idx]
             messages += 1
-            if stale is not None and stale not in self._by_ident:
-                # timeout on a dead finger, retry via live ring
+            if stale is not None and self._by_ident.get(stale[0]) != stale[1]:
+                # timeout on a dead finger (or a recycled ident now
+                # owned by a different node), retry via live ring
                 self.timeouts += 1
                 messages += 1
             nxt = self._successor_ident((current + step) % size)

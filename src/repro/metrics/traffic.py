@@ -27,6 +27,8 @@ VOTE_BYTES = 50.0
 RECORD_BYTES = 60.0
 TOPK_ENTRY_BYTES = 20.0
 DESCRIPTOR_BYTES = 30.0
+#: Chord control message (ids, a couple of idents, rtt bookkeeping)
+DHT_MESSAGE_BYTES = 40.0
 #: fixed per-exchange framing cost (headers, handshake share)
 EXCHANGE_OVERHEAD_BYTES = 80.0
 
@@ -97,6 +99,15 @@ class TrafficMeter:
 
     def newscast_exchange(self, view_entries: int) -> None:
         self._get("newscast").record(view_entries, DESCRIPTOR_BYTES)
+
+    def dht_exchange_many(self, exchanges: int, messages: int) -> None:
+        """A batch of Chord operations (lookups, stores, fetches,
+        timeout retries) from the inter-shard aggregation path."""
+        self._get("dht").record_many(exchanges, messages, DHT_MESSAGE_BYTES)
+
+    def aggregation_exchange_many(self, exchanges: int, votes: int) -> None:
+        """Digest payload votes shipped between shards via the DHT."""
+        self._get("aggregation").record_many(exchanges, votes, VOTE_BYTES)
 
     # ------------------------------------------------------------------
     def total_bytes(self) -> float:

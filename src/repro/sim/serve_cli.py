@@ -22,6 +22,7 @@ import time
 from pathlib import Path
 
 from repro.core.persistence import atomic_write_text
+from repro.sim.aggregation import AggregationConfig
 from repro.sim.service import ServiceConfig, ServiceSupervisor, ShardConfig
 
 
@@ -59,6 +60,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--status-interval", type=float, default=5.0,
         help="wall seconds between status lines",
     )
+    parser.add_argument(
+        "--aggregation", action="store_true",
+        help="exchange ballot digests between shards over the Chord "
+        "ring (publishes/pulls every checkpoint interval)",
+    )
+    parser.add_argument(
+        "--aggregation-rate", type=int, default=200, metavar="VOTES",
+        help="remote votes admitted per shard per interval (rate limit)",
+    )
+    parser.add_argument(
+        "--aggregation-fanout", type=int, default=2, metavar="NODES",
+        help="local nodes each pulled digest is merged into",
+    )
     return parser
 
 
@@ -67,6 +81,15 @@ def main(argv=None) -> int:
     directory = args.resume if args.resume is not None else args.dir
     if directory is None:
         build_parser().error("--dir (or --resume DIR) is required")
+    aggregation = (
+        AggregationConfig(
+            shards=args.shards,
+            max_votes_per_interval=args.aggregation_rate,
+            merge_fanout=args.aggregation_fanout,
+        )
+        if args.aggregation
+        else None
+    )
     config = ServiceConfig(
         shards=args.shards,
         until=args.until,
@@ -76,6 +99,7 @@ def main(argv=None) -> int:
             seed=args.seed,
             population_engine=args.population_engine,
             columnar_state=args.columnar_state,
+            aggregation=aggregation,
         ),
     )
     with ServiceSupervisor(
@@ -87,14 +111,19 @@ def main(argv=None) -> int:
             supervisor.poll()
             status = supervisor.status()
             totals = status.totals
-            print(
+            line = (
                 f"[serve] alive={totals['alive']}/{totals['shards']} "
                 f"sim={totals['sim_now_min']:.0f}..{totals['sim_now_max']:.0f}s "
                 f"lag={totals['max_lag']:.0f}s "
                 f"merges/s={totals['merges_per_sec']:.1f} "
-                f"ckpts={totals['checkpoints']} restarts={totals['restarts']}",
-                flush=True,
+                f"ckpts={totals['checkpoints']} restarts={totals['restarts']}"
             )
+            if aggregation is not None:
+                line += (
+                    f" dht/s={totals['dht_messages_per_sec']:.1f}"
+                    f" merge_lag={totals['merge_lag_votes']}"
+                )
+            print(line, flush=True)
         final = supervisor.status()
         summaries = [
             supervisor.shard_summary(i) for i in range(config.shards)

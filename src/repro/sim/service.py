@@ -62,6 +62,11 @@ from repro.core.persistence import (
 )
 from repro.core.runtime import ProtocolRuntime, RuntimeConfig
 from repro.core.votes import Vote
+from repro.sim.aggregation import (
+    AggregationConfig,
+    DirectoryDigestBoard,
+    ShardAggregator,
+)
 from repro.sim.engine import Engine
 from repro.sim.parallel import (
     AttachedSegment,
@@ -74,7 +79,12 @@ from repro.sim.rng import RngRegistry
 from repro.traces.model import EventKind, PeerProfile, Trace, TraceEvent
 
 #: On-disk checkpoint format of :meth:`ServiceShard.checkpoint_state`.
-CHECKPOINT_FORMAT = 1
+#: Format 2 adds the inter-shard aggregation section (cursors, pending
+#: digests, backoff, ops) and the columnar row-table interning order
+#: (remote merges intern foreign ids in arrival order); format-1
+#: checkpoints still restore for shards that have aggregation disabled.
+CHECKPOINT_FORMAT = 2
+_READABLE_FORMATS = (1, CHECKPOINT_FORMAT)
 
 #: A round interval so large the session's recurring transfer round is
 #: a single far-future heap entry (service traces have no swarms, so
@@ -111,6 +121,11 @@ _COUNTER_COLS = (
     "checkpoint_bytes_total",
     "checkpoint_wall_total",
     "checkpoint_wall_last",
+    "digests_published",
+    "digests_pulled",
+    "dht_messages",
+    "remote_votes_merged",
+    "agg_pending_votes",
     "heartbeat",
     "pid",
 )
@@ -144,6 +159,9 @@ class ShardConfig:
     population_engine: str = "auto"
     columnar_state: str = "auto"
     node: NodeConfig = field(default_factory=NodeConfig)
+    #: inter-shard vote aggregation over the Chord ring; ``None``
+    #: (default) keeps shards fully isolated as in PR 9
+    aggregation: Optional[AggregationConfig] = None
 
     def peer_ids(self) -> List[str]:
         """Zero-padded ids: sorted order == creation order == row order."""
@@ -247,6 +265,14 @@ class ServiceShard:
             ),
             experience=AlwaysExperienced(),
         )
+        #: inter-shard aggregation state (None when disabled).  Built
+        #: before any checkpoint so its RNG stream is registered — the
+        #: generic ``rng_streams`` persistence then carries it.
+        self.aggregator: Optional[ShardAggregator] = (
+            ShardAggregator(config.aggregation, config.shard_id, self.rng)
+            if config.aggregation is not None
+            else None
+        )
         self._started = False
         #: operational (non-identity) counters
         self.ops: Dict[str, float] = {
@@ -348,7 +374,7 @@ class ServiceShard:
             }
             for node in self.runtime.nodes.values()
         ]
-        return {
+        state = {
             "format": CHECKPOINT_FORMAT,
             "shard_id": self.config.shard_id,
             "sim": {
@@ -367,6 +393,19 @@ class ServiceShard:
             "nodes": nodes,
             "ops": dict(self.ops),
         }
+        if self.runtime._col_store is not None:
+            # Shared row-table interning order.  Remote digest merges
+            # intern *foreign* voter and moderator ids in arrival
+            # order, which node-by-node restore cannot reproduce — and
+            # the SoA schedule restore asserts exact row numbers.
+            store = self.runtime._col_store
+            state["columnar_rows"] = {
+                "rows": list(store.rows.ids),
+                "mods": list(store.mods.ids),
+            }
+        if self.aggregator is not None:
+            state["aggregation"] = self.aggregator.state_dict()
+        return state
 
     def write_checkpoint(self, directory: Path) -> int:
         """Atomically persist :meth:`checkpoint_state`; returns bytes
@@ -392,7 +431,7 @@ class ServiceShard:
     def restore(cls, config: ShardConfig, state: Dict[str, Any]) -> "ServiceShard":
         """Rebuild a shard positioned exactly at a checkpoint."""
         fmt = state.get("format")
-        if fmt != CHECKPOINT_FORMAT:
+        if fmt not in _READABLE_FORMATS:
             raise ValueError(f"unsupported shard checkpoint format {fmt!r}")
         if state.get("shard_id") != config.shard_id:
             raise ValueError(
@@ -435,10 +474,21 @@ class ServiceShard:
         # Rows are pre-assigned first: restoring a ballot box interns
         # its *voters* into the shared row table, so without this the
         # first node's voters would grab rows ahead of later nodes.
+        # Format 2 saves the whole interning order (aggregation merges
+        # remote voters/moderators in arrival order, which node order
+        # cannot reproduce); format 1 falls back to node order, which
+        # is exact when every voter is a local peer.
         runtime = shard.runtime
         if runtime._col_store is not None:
-            for rec in state["nodes"]:
-                runtime._col_store.ensure_row(rec["state"]["peer_id"])
+            saved_rows = state.get("columnar_rows")
+            if saved_rows is not None:
+                for pid in saved_rows["rows"]:
+                    runtime._col_store.ensure_row(pid)
+                for mid in saved_rows["mods"]:
+                    runtime._col_store.mods.row(mid)
+            else:
+                for rec in state["nodes"]:
+                    runtime._col_store.ensure_row(rec["state"]["peer_id"])
         for rec in state["nodes"]:
             node = node_from_dict(rec["state"], col_store=runtime._col_store)
             node.online = bool(rec["online"])
@@ -461,6 +511,19 @@ class ServiceShard:
                 for proc, row in zip(procs, rows):
                     if row is not None:
                         proc.restore(row["time"], int(row["seq"]), int(row["ticks"]))
+        aggregation_state = state.get("aggregation")
+        if shard.aggregator is not None:
+            if aggregation_state is None:
+                raise ValueError(
+                    "config enables aggregation but the checkpoint has no "
+                    "aggregation state"
+                )
+            shard.aggregator.restore_state(aggregation_state)
+        elif aggregation_state is not None:
+            raise ValueError(
+                "checkpoint carries aggregation state but the config "
+                "disables aggregation"
+            )
         shard.ops.update(state.get("ops", {}))
         shard.ops["restores"] = shard.ops.get("restores", 0) + 1
         return shard
@@ -480,16 +543,30 @@ class ServiceShard:
         directory: Optional[Path] = None,
         should_stop=None,
         on_slice=None,
+        board=None,
     ) -> None:
         """Advance to ``until`` in checkpoint-boundary slices, writing
         a checkpoint (when ``directory`` is set) at every boundary.
 
+        With aggregation enabled and a ``board``, each slice runs the
+        aggregation cycle: pending remote digests merge at the *start*
+        of the slice (so a restore at a boundary replays the staged
+        merge before re-running the slice), and publish/pull happen at
+        the boundary, *before* the checkpoint captures their cursors
+        and staged digests.
+
         ``should_stop()`` is polled between slices (graceful SIGTERM);
         ``on_slice(shard)`` runs after every slice (live counters)."""
+        aggregator = self.aggregator if board is not None else None
         for boundary in _checkpoint_boundaries(
             self.engine.now, until, checkpoint_interval
         ):
+            if aggregator is not None:
+                aggregator.merge_pending(self)
             self.run_until(boundary)
+            if aggregator is not None:
+                aggregator.publish(self, board)
+                aggregator.pull(self, board)
             if directory is not None:
                 self.write_checkpoint(directory)
             if on_slice is not None:
@@ -522,6 +599,8 @@ class ServiceShard:
             "eviction_pressure": self.eviction_pressure(),
             "ops": dict(self.ops),
         }
+        if self.aggregator is not None:
+            summary["service"]["aggregation"] = dict(self.aggregator.ops)
         return summary
 
     def identity_state(self) -> Dict[str, Any]:
@@ -539,12 +618,18 @@ class ServiceShard:
         population.pop("ballot_memory_bytes", None)
         population.pop("scheduler_memory_bytes", None)
         summary["population"] = population
-        return {
+        state = {
             "sim_now": self.engine.now,
             "events_fired": self.engine.events_fired,
             "summary": summary,
             "nodes": [node_to_dict(node) for node in self.runtime.nodes.values()],
         }
+        if self.aggregator is not None:
+            # Deterministic under lockstep driving (ShardCluster /
+            # single-shard run_service): epoch, cursors, staged
+            # digests, and message ledgers all replay bit-identically.
+            state["aggregation"] = self.aggregator.state_dict()
+        return state
 
 
 # ----------------------------------------------------------------------
@@ -584,6 +669,14 @@ def _shard_worker_main(
     else:
         shard = ServiceShard(config)
         shard.start()
+    # Aggregating workers share one digest directory next to the shard
+    # directories — the storage half of the DHT, which (unlike the
+    # worker process) survives a SIGKILL.
+    board = (
+        DirectoryDigestBoard(directory.parent / "dht")
+        if shard.aggregator is not None
+        else None
+    )
 
     segment = (
         AttachedSegment(counters_spec, writable=True)
@@ -608,6 +701,13 @@ def _shard_worker_main(
         row[_COL["checkpoint_bytes_total"]] = s.ops["checkpoint_bytes_total"]
         row[_COL["checkpoint_wall_total"]] = s.ops["checkpoint_wall_total"]
         row[_COL["checkpoint_wall_last"]] = s.ops["checkpoint_wall_last"]
+        if s.aggregator is not None:
+            agg = s.aggregator.ops
+            row[_COL["digests_published"]] = agg["digests_published"]
+            row[_COL["digests_pulled"]] = agg["digests_pulled"]
+            row[_COL["dht_messages"]] = agg["dht_messages"]
+            row[_COL["remote_votes_merged"]] = agg["remote_votes_merged"]
+            row[_COL["agg_pending_votes"]] = agg["pending_votes"]
         row[_COL["heartbeat"]] = time.time()
         row[_COL["pid"]] = os.getpid()
 
@@ -619,6 +719,7 @@ def _shard_worker_main(
             directory=directory,
             should_stop=lambda: _WORKER_STOP,
             on_slice=publish,
+            board=board,
         )
         summary = shard.run_summary()
         summary["service"]["worker_wall_seconds"] = time.perf_counter() - wall_start
@@ -798,6 +899,11 @@ class ServiceSupervisor:
                     ),
                     "checkpoint_wall_last": row["checkpoint_wall_last"],
                     "checkpoint_wall_total": row["checkpoint_wall_total"],
+                    "digests_published_per_sec": rate("digests_published"),
+                    "digests_pulled_per_sec": rate("digests_pulled"),
+                    "dht_messages_per_sec": rate("dht_messages"),
+                    "remote_votes_merged": int(row["remote_votes_merged"]),
+                    "merge_lag_votes": int(row["agg_pending_votes"]),
                     "heartbeat_age": (
                         now_wall - row["heartbeat"] if row["heartbeat"] else None
                     ),
@@ -814,6 +920,8 @@ class ServiceSupervisor:
             "exchanges_per_sec": sum(s["exchanges_per_sec"] for s in shards),
             "checkpoints": sum(s["checkpoints"] for s in shards),
             "restarts": sum(self._restarts),
+            "dht_messages_per_sec": sum(s["dht_messages_per_sec"] for s in shards),
+            "merge_lag_votes": sum(s["merge_lag_votes"] for s in shards),
         }
         self._prev_snapshot = rows
         self._prev_wall = now_wall

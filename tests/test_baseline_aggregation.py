@@ -87,3 +87,49 @@ def test_property_honest_estimates_bounded_by_value_range(n, seed):
     lo, hi = min(values.values()), max(values.values())
     for est in agg.estimates().values():
         assert lo - 1e-6 <= est <= hi + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Regression: ground truth must exclude liars' fabricated values
+# ----------------------------------------------------------------------
+def test_true_average_excludes_liars():
+    """mean_absolute_error/max_estimate_shift promise the *honest*
+    average; pre-fix, true_average averaged over all declared values,
+    liars included, so a liar whose declared value differs from the
+    honest mean silently shifted the yardstick."""
+    values = {f"n{i}": 0.0 for i in range(20)}
+    values["liar"] = 50.0  # the liar's declared value is itself a lie
+    agg = make(values, seed=6, liars=["liar"], lie_value=1000.0)
+    assert agg.true_average == pytest.approx(0.0)  # pre-fix: 50/21
+
+
+def test_mae_under_attack_was_understated():
+    """Pre-fix the liar's declared value dragged true_average toward
+    the fabrication, so every honest node's measured error shrank —
+    MAE against the honest truth must exceed MAE against the old
+    liar-included average."""
+    values = {f"n{i}": 0.0 for i in range(20)}
+    values["liar"] = 50.0
+    fixed = make(values, seed=7, liars=["liar"], lie_value=1000.0)
+    legacy = PushSumAggregation(
+        values,
+        np.random.default_rng(7),
+        liars=["liar"],
+        lie_value=1000.0,
+        include_liars=True,
+    )
+    fixed.run(30)
+    legacy.run(30)
+    # identical dynamics, different yardstick
+    assert fixed.estimates() == legacy.estimates()
+    assert legacy.true_average == pytest.approx(50 / 21)
+    assert fixed.mean_absolute_error() > legacy.mean_absolute_error()
+
+
+def test_all_liar_population_requires_escape_hatch():
+    with pytest.raises(ValueError, match="include_liars"):
+        make({"a": 1.0}, liars=["a"])
+    agg = PushSumAggregation(
+        {"a": 1.0}, np.random.default_rng(0), liars=["a"], include_liars=True
+    )
+    assert agg.true_average == pytest.approx(1.0)
